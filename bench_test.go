@@ -1,0 +1,472 @@
+// Package repro's benchmarks regenerate every table and figure of the
+// paper's evaluation at bench scale (see internal/experiments.Bench), plus
+// ablation benches for the design choices called out in DESIGN.md. Each
+// benchmark reports the headline numbers of its artifact via b.ReportMetric.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+package repro_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/mat"
+	"repro/internal/monitor"
+)
+
+// sensorOnlyFGSM crafts FGSM perturbations but zeroes the components on
+// command dims, restricting the attack to sensor inputs.
+func sensorOnlyFGSM(m *monitor.MLMonitor, labels []int, eps float64) experiments.Perturbation {
+	return func(x *mat.Matrix) (*mat.Matrix, error) {
+		adv, err := attack.FGSM(m.Model(), x, labels, eps)
+		if err != nil {
+			return nil, err
+		}
+		sensor := make(map[int]bool)
+		for _, d := range dataset.SensorDimsMLP() {
+			sensor[d] = true
+		}
+		for i := 0; i < adv.Rows(); i++ {
+			for j := 0; j < adv.Cols(); j++ {
+				if !sensor[j] {
+					adv.Set(i, j, x.At(i, j))
+				}
+			}
+		}
+		return adv, nil
+	}
+}
+
+func assets(b *testing.B) *experiments.Assets {
+	b.Helper()
+	a, err := experiments.Shared(experiments.Bench())
+	if err != nil {
+		b.Fatalf("build assets: %v", err)
+	}
+	return a
+}
+
+// BenchmarkTable3 regenerates Table III (clean-input ACC/F1 of all five
+// monitors on both simulators).
+func BenchmarkTable3(b *testing.B) {
+	a := assets(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table3(a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			row, _ := res.Row(dataset.Glucosym, "mlp")
+			b.ReportMetric(row.F1, "mlp-glucosym-F1")
+			row, _ = res.Row(dataset.T1DS, "lstm")
+			b.ReportMetric(row.F1, "lstm-t1ds-F1")
+		}
+	}
+}
+
+// BenchmarkFig1Trace regenerates the Fig 1(b) annotated episode.
+func BenchmarkFig1Trace(b *testing.B) {
+	a := assets(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig1b(a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.LeadSteps), "alert-lead-steps")
+		}
+	}
+}
+
+// BenchmarkFig2FGSMExample regenerates the single-sample FGSM flip of Fig 2.
+func BenchmarkFig2FGSMExample(b *testing.B) {
+	a := assets(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig2(a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(100*res.OrigConfidence, "unsafe-conf-%")
+			b.ReportMetric(100*res.AdvConfidence, "safe-conf-%")
+		}
+	}
+}
+
+// BenchmarkFig3Boundary regenerates the MLP vs MLP-Custom decision
+// boundaries of Fig 3.
+func BenchmarkFig3Boundary(b *testing.B) {
+	a := assets(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig3(a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(100*res.DisagreementFrac, "boundary-diff-%")
+		}
+	}
+}
+
+// BenchmarkFig4Histogram regenerates the noisy-input distributions of Fig 4.
+func BenchmarkFig4Histogram(b *testing.B) {
+	a := assets(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5GaussianF1 regenerates the Gaussian-noise F1 sweeps of Fig 5.
+func BenchmarkFig5GaussianF1(b *testing.B) {
+	a := assets(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig5(a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			s := res.F1["glucosym"]["mlp"]
+			b.ReportMetric(s[0]-s[len(s)-1], "mlp-glucosym-F1-drop")
+		}
+	}
+}
+
+// BenchmarkFig6PrecisionRecall regenerates the MLP precision/recall curves
+// of Fig 6.
+func BenchmarkFig6PrecisionRecall(b *testing.B) {
+	a := assets(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6(a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.Recall["mlp"][len(res.Recall["mlp"])-1], "mlp-recall-at-max-noise")
+		}
+	}
+}
+
+// BenchmarkFig7AdvTrace regenerates the adversarial input traces of Fig 7.
+func BenchmarkFig7AdvTrace(b *testing.B) {
+	a := assets(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8FGSMF1 regenerates the white-box FGSM F1 sweeps of Fig 8.
+func BenchmarkFig8FGSMF1(b *testing.B) {
+	a := assets(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig8(a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			s := res.F1["t1ds"]["lstm"]
+			b.ReportMetric(s[0]-s[len(s)-1], "lstm-t1ds-F1-drop")
+		}
+	}
+}
+
+// BenchmarkFig9Heatmap regenerates both robustness-error heatmaps of Fig 9.
+func BenchmarkFig9Heatmap(b *testing.B) {
+	a := assets(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig9Both(a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			isCustom := func(l string) bool { return strings.Contains(l, "Custom") }
+			isBase := func(l string) bool { return !isCustom(l) }
+			base := res.FGSM.MeanError(isBase)
+			custom := res.FGSM.MeanError(isCustom)
+			b.ReportMetric(base, "fgsm-base-err")
+			b.ReportMetric(custom, "fgsm-custom-err")
+			if base > 0 {
+				b.ReportMetric(100*(base-custom)/base, "fgsm-err-reduction-%")
+			}
+		}
+	}
+}
+
+// BenchmarkFig10BlackBox regenerates the black-box robustness heatmap of
+// Fig 10.
+func BenchmarkFig10BlackBox(b *testing.B) {
+	a := assets(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig10(a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			all := func(string) bool { return true }
+			b.ReportMetric(res.MeanError(all), "blackbox-mean-err")
+		}
+	}
+}
+
+// --- Ablation benches for DESIGN.md §6 -------------------------------------
+
+// BenchmarkAblationSemanticWeight sweeps the semantic-loss weight w of Eq 2
+// and reports the FGSM robustness error per setting.
+func BenchmarkAblationSemanticWeight(b *testing.B) {
+	a := assets(b)
+	train := a.Sims[dataset.Glucosym].Train
+	test := a.Sims[dataset.Glucosym].Test
+	labels := test.Labels()
+	for i := 0; i < b.N; i++ {
+		for _, w := range []float64{0, 0.25, 0.5, 1, 2} {
+			m, err := monitor.Train(train, monitor.TrainConfig{
+				Arch:           monitor.ArchMLP,
+				Semantic:       w > 0,
+				SemanticWeight: w,
+				Epochs:         a.Config.Epochs,
+				Hidden1:        a.Config.MLPHidden1,
+				Hidden2:        a.Config.MLPHidden2,
+				Seed:           a.Config.Seed + 17,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			re, err := experiments.RobustnessError(m, test, experiments.FGSMPerturbation(m, labels, 0.1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(re, "fgsm-err-w"+weightLabel(w))
+			}
+		}
+	}
+}
+
+func weightLabel(w float64) string {
+	switch w {
+	case 0:
+		return "0.00"
+	case 0.25:
+		return "0.25"
+	case 0.5:
+		return "0.50"
+	case 1:
+		return "1.00"
+	default:
+		return "2.00"
+	}
+}
+
+// BenchmarkAblationWindow sweeps the monitor window length W.
+func BenchmarkAblationWindow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, w := range []int{4, 6, 8} {
+			ds, err := dataset.Generate(dataset.CampaignConfig{
+				Simulator:          dataset.Glucosym,
+				Profiles:           4,
+				EpisodesPerProfile: 2,
+				Steps:              100,
+				Window:             w,
+				Seed:               5,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			train, test, err := ds.Split(0.75)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m, err := monitor.Train(train, monitor.TrainConfig{
+				Arch: monitor.ArchMLP, Epochs: 8, Hidden1: 48, Hidden2: 24, Seed: 5,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			c, err := experiments.Score(m, test, 12, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(c.F1(), "F1-window-"+string(rune('0'+w)))
+			}
+		}
+	}
+}
+
+// BenchmarkAblationTolerance sweeps the δ of the Table II confusion matrix.
+func BenchmarkAblationTolerance(b *testing.B) {
+	a := assets(b)
+	sa := a.Sims[dataset.Glucosym]
+	m := sa.Monitors["mlp"]
+	for i := 0; i < b.N; i++ {
+		for _, delta := range []int{0, 6, 12, 24} {
+			c, err := experiments.Score(m, sa.Test, delta, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(c.F1(), "F1-delta-"+itoa(delta))
+			}
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var digits []byte
+	for v > 0 {
+		digits = append([]byte{byte('0' + v%10)}, digits...)
+		v /= 10
+	}
+	return string(digits)
+}
+
+// BenchmarkAblationFGSMSensorsOnly contrasts FGSM over all input dims (the
+// paper's setting) with FGSM restricted to sensor dims.
+func BenchmarkAblationFGSMSensorsOnly(b *testing.B) {
+	a := assets(b)
+	sa := a.Sims[dataset.Glucosym]
+	m, err := sa.MLMonitor("mlp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	labels := sa.Test.Labels()
+	for i := 0; i < b.N; i++ {
+		full, err := experiments.RobustnessError(m, sa.Test, experiments.FGSMPerturbation(m, labels, 0.1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sensor, err := experiments.RobustnessError(m, sa.Test, sensorOnlyFGSM(m, labels, 0.1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(full, "fgsm-all-dims-err")
+			b.ReportMetric(sensor, "fgsm-sensor-only-err")
+		}
+	}
+}
+
+// BenchmarkAblationDefenses contrasts the paper's semantic-loss defense with
+// classical adversarial training and with their combination (FGSM ε=0.1
+// white-box attack on the Glucosym MLP monitor).
+func BenchmarkAblationDefenses(b *testing.B) {
+	a := assets(b)
+	train := a.Sims[dataset.Glucosym].Train
+	test := a.Sims[dataset.Glucosym].Test
+	labels := test.Labels()
+	cases := []struct {
+		name     string
+		semantic bool
+		advEps   float64
+	}{
+		{"none", false, 0},
+		{"semantic", true, 0},
+		{"advtrain", false, 0.1},
+		{"both", true, 0.1},
+	}
+	for i := 0; i < b.N; i++ {
+		for _, tc := range cases {
+			m, err := monitor.Train(train, monitor.TrainConfig{
+				Arch:           monitor.ArchMLP,
+				Semantic:       tc.semantic,
+				SemanticWeight: a.Config.SemanticWeight,
+				AdversarialEps: tc.advEps,
+				Epochs:         a.Config.Epochs,
+				Hidden1:        a.Config.MLPHidden1,
+				Hidden2:        a.Config.MLPHidden2,
+				Seed:           a.Config.Seed + 17,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			re, err := experiments.RobustnessError(m, test, experiments.FGSMPerturbation(m, labels, 0.1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			c, err := experiments.Score(m, test, a.Config.ToleranceDelta, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(re, "fgsm-err-"+tc.name)
+				b.ReportMetric(c.F1(), "F1-"+tc.name)
+			}
+		}
+	}
+}
+
+// BenchmarkEvasion verifies the §III premise: the studied perturbations
+// evade a CUSUM change detector watching the injected residual.
+func BenchmarkEvasion(b *testing.B) {
+	a := assets(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Evasion(a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			g := res.Gaussian["glucosym"]
+			f := res.FGSM["glucosym"]
+			b.ReportMetric(g[len(g)-1], "gaussian-evasion-max-sigma")
+			b.ReportMetric(f[len(f)-1], "fgsm-evasion-max-eps")
+		}
+	}
+}
+
+// BenchmarkAblationPGDvsFGSM contrasts single-step FGSM with 10-step PGD at
+// the same L∞ budget (the stronger attack the paper's conclusion calls for).
+func BenchmarkAblationPGDvsFGSM(b *testing.B) {
+	a := assets(b)
+	sa := a.Sims[dataset.Glucosym]
+	m, err := sa.MLMonitor("mlp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	x, err := m.InputMatrix(sa.Test.Samples)
+	if err != nil {
+		b.Fatal(err)
+	}
+	labels := sa.Test.Labels()
+	orig, err := m.PredictClasses(x)
+	if err != nil {
+		b.Fatal(err)
+	}
+	flips := func(adv *mat.Matrix) float64 {
+		pred, err := m.PredictClasses(adv)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for i := range pred {
+			if pred[i] != orig[i] {
+				n++
+			}
+		}
+		return float64(n) / float64(len(pred))
+	}
+	for i := 0; i < b.N; i++ {
+		fgsmAdv, err := attack.FGSM(m.Model(), x, labels, 0.1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pgdAdv, err := attack.PGD(m.Model(), x, labels, attack.PGDConfig{Eps: 0.1, Steps: 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(flips(fgsmAdv), "fgsm-err")
+			b.ReportMetric(flips(pgdAdv), "pgd-err")
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Command apsattack trains a monitor and attacks it with Gaussian noise,
+// white-box FGSM, or a black-box substitute transfer attack, reporting F1
+// degradation and robustness error.
+//
+// Usage:
+//
+//	apsattack [-sim glucosym|t1ds] [-arch mlp|lstm] [-semantic]
+//	          [-attack gaussian|fgsm|blackbox] [-level σ|ε]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/attack"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/monitor"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "apsattack:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	simName := flag.String("sim", "glucosym", "simulator: glucosym or t1ds")
+	arch := flag.String("arch", "mlp", "architecture: mlp or lstm")
+	semantic := flag.Bool("semantic", false, "train the monitor with the semantic loss")
+	kind := flag.String("attack", "fgsm", "attack: gaussian, fgsm, or blackbox")
+	level := flag.Float64("level", 0.1, "σ (gaussian) or ε (fgsm/blackbox)")
+	epochs := flag.Int("epochs", 15, "training epochs")
+	seed := flag.Int64("seed", 1, "seed")
+	flag.Parse()
+
+	var simu dataset.Simulator
+	switch *simName {
+	case "glucosym":
+		simu = dataset.Glucosym
+	case "t1ds":
+		simu = dataset.T1DS
+	default:
+		return fmt.Errorf("unknown simulator %q", *simName)
+	}
+	var a monitor.Arch
+	switch *arch {
+	case "mlp":
+		a = monitor.ArchMLP
+	case "lstm":
+		a = monitor.ArchLSTM
+	default:
+		return fmt.Errorf("unknown architecture %q", *arch)
+	}
+
+	ds, err := dataset.Generate(dataset.CampaignConfig{
+		Simulator: simu, Profiles: 10, EpisodesPerProfile: 4, Steps: 150, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	train, test, err := ds.Split(0.75)
+	if err != nil {
+		return err
+	}
+	m, err := monitor.Train(train, monitor.TrainConfig{
+		Arch: a, Semantic: *semantic, Epochs: *epochs, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	clean, err := experiments.Score(m, test, 12, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("monitor %s on %s: clean F1=%.3f ACC=%.3f\n", m.Name(), simu, clean.F1(), clean.Accuracy())
+
+	switch *kind {
+	case "gaussian":
+		c, err := experiments.GaussianScore(m, test, *level, *seed+5, 12)
+		if err != nil {
+			return err
+		}
+		re, err := experiments.GaussianRobustness(m, test, *level, *seed+5)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("gaussian σ=%.2f·std: F1=%.3f (Δ=%.3f), robustness error=%.3f\n",
+			*level, c.F1(), clean.F1()-c.F1(), re)
+	case "fgsm":
+		labels := test.Labels()
+		p := experiments.FGSMPerturbation(m, labels, *level)
+		c, err := experiments.Score(m, test, 12, p)
+		if err != nil {
+			return err
+		}
+		re, err := experiments.RobustnessError(m, test, p)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("white-box FGSM ε=%.2f: F1=%.3f (Δ=%.3f), robustness error=%.3f\n",
+			*level, c.F1(), clean.F1()-c.F1(), re)
+	case "blackbox":
+		qx, err := m.InputMatrix(train.Samples)
+		if err != nil {
+			return err
+		}
+		qPred, err := m.PredictClasses(qx)
+		if err != nil {
+			return err
+		}
+		sub, err := attack.TrainSubstitute(qx, qPred, attack.SubstituteConfig{Epochs: 30, Seed: *seed + 9})
+		if err != nil {
+			return err
+		}
+		tx, err := m.InputMatrix(test.Samples)
+		if err != nil {
+			return err
+		}
+		tPred, err := m.PredictClasses(tx)
+		if err != nil {
+			return err
+		}
+		adv, err := attack.BlackBoxFGSM(sub, tx, tPred, *level)
+		if err != nil {
+			return err
+		}
+		advPred, err := m.PredictClasses(adv)
+		if err != nil {
+			return err
+		}
+		re, err := metrics.RobustnessError(tPred, advPred)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("black-box FGSM ε=%.2f (substitute transfer): robustness error=%.3f\n", *level, re)
+	default:
+		return fmt.Errorf("unknown attack %q", *kind)
+	}
+	return nil
+}

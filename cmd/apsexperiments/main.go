@@ -1,0 +1,86 @@
+// Command apsexperiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	apsexperiments [-exp table3|fig1b|fig2|...|all] [-scale bench|default|paper]
+//	               [-profiles N] [-episodes N] [-steps N] [-epochs N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "apsexperiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	exp := flag.String("exp", "all", "experiment id (table3, fig1b, fig2..fig10) or 'all'")
+	scale := flag.String("scale", "default", "preset: bench, default, or paper")
+	profiles := flag.Int("profiles", 0, "override: patient profiles per simulator")
+	episodes := flag.Int("episodes", 0, "override: episodes per profile")
+	steps := flag.Int("steps", 0, "override: steps per episode")
+	epochs := flag.Int("epochs", 0, "override: training epochs")
+	seed := flag.Int64("seed", 0, "override: campaign/training seed")
+	weight := flag.Float64("semantic-weight", 0, "override: semantic loss weight w")
+	flag.Parse()
+
+	var cfg experiments.Config
+	switch *scale {
+	case "bench":
+		cfg = experiments.Bench()
+	case "default":
+		cfg = experiments.Default()
+	case "paper":
+		cfg = experiments.Paper()
+	default:
+		return fmt.Errorf("unknown scale %q", *scale)
+	}
+	if *profiles > 0 {
+		cfg.Profiles = *profiles
+	}
+	if *episodes > 0 {
+		cfg.EpisodesPerProfile = *episodes
+	}
+	if *steps > 0 {
+		cfg.Steps = *steps
+	}
+	if *epochs > 0 {
+		cfg.Epochs = *epochs
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *weight > 0 {
+		cfg.SemanticWeight = *weight
+	}
+
+	fmt.Printf("building assets (%s)...\n", cfg)
+	t0 := time.Now()
+	assets, err := experiments.Shared(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("assets ready in %v\n\n", time.Since(t0).Round(time.Millisecond))
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.ExperimentIDs()
+	}
+	for _, id := range ids {
+		t1 := time.Now()
+		if err := experiments.Run(id, assets, os.Stdout); err != nil {
+			return err
+		}
+		fmt.Printf("[%s done in %v]\n\n", id, time.Since(t1).Round(time.Millisecond))
+	}
+	return nil
+}

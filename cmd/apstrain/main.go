@@ -1,0 +1,108 @@
+// Command apstrain generates a simulation campaign, trains one ML monitor
+// and reports its clean-input performance; optionally saves the model as
+// JSON.
+//
+// Usage:
+//
+//	apstrain [-sim glucosym|t1ds] [-arch mlp|lstm] [-semantic] [-epochs N]
+//	         [-profiles N] [-episodes N] [-steps N] [-out model.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/monitor"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "apstrain:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	simName := flag.String("sim", "glucosym", "simulator: glucosym or t1ds")
+	arch := flag.String("arch", "mlp", "architecture: mlp or lstm")
+	semantic := flag.Bool("semantic", false, "train with the semantic (knowledge) loss")
+	weight := flag.Float64("weight", 0.5, "semantic loss weight w")
+	epochs := flag.Int("epochs", 15, "training epochs")
+	profiles := flag.Int("profiles", 10, "patient profiles")
+	episodes := flag.Int("episodes", 4, "episodes per profile")
+	steps := flag.Int("steps", 150, "steps per episode")
+	seed := flag.Int64("seed", 1, "seed")
+	out := flag.String("out", "", "write the trained model JSON here")
+	flag.Parse()
+
+	var simu dataset.Simulator
+	switch *simName {
+	case "glucosym":
+		simu = dataset.Glucosym
+	case "t1ds":
+		simu = dataset.T1DS
+	default:
+		return fmt.Errorf("unknown simulator %q", *simName)
+	}
+	var a monitor.Arch
+	switch *arch {
+	case "mlp":
+		a = monitor.ArchMLP
+	case "lstm":
+		a = monitor.ArchLSTM
+	default:
+		return fmt.Errorf("unknown architecture %q", *arch)
+	}
+
+	fmt.Printf("generating campaign (%s, %d profiles × %d episodes × %d steps)...\n",
+		simu, *profiles, *episodes, *steps)
+	ds, err := dataset.Generate(dataset.CampaignConfig{
+		Simulator:          simu,
+		Profiles:           *profiles,
+		EpisodesPerProfile: *episodes,
+		Steps:              *steps,
+		Seed:               *seed,
+	})
+	if err != nil {
+		return err
+	}
+	train, test, err := ds.Split(0.75)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset: %d samples (%.1f%% unsafe), train %d / test %d\n",
+		ds.Len(), 100*ds.UnsafeFraction(), train.Len(), test.Len())
+
+	m, err := monitor.Train(train, monitor.TrainConfig{
+		Arch:           a,
+		Semantic:       *semantic,
+		SemanticWeight: *weight,
+		Epochs:         *epochs,
+		Seed:           *seed,
+	})
+	if err != nil {
+		return err
+	}
+	c, err := experiments.Score(m, test, 12, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: ACC=%.3f F1=%.3f P=%.3f R=%.3f (tolerance-window δ=12)\n",
+		m.Name(), c.Accuracy(), c.F1(), c.Precision(), c.Recall())
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := m.Save(f); err != nil {
+			return err
+		}
+		fmt.Printf("model written to %s\n", *out)
+	}
+	return nil
+}

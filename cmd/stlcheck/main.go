@@ -1,0 +1,110 @@
+// Command stlcheck evaluates an STL formula against a CSV trace (such as the
+// output of `apsim -csv`), reporting boolean satisfaction and the
+// quantitative robustness degree per step.
+//
+// Usage:
+//
+//	apsim -sim glucosym -fault -csv > trace.csv
+//	stlcheck -trace trace.csv -formula 'F[0,12](true_bg > 180)'
+//	stlcheck -trace trace.csv -formula 'true_bg < 70' -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/stl"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "stlcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	tracePath := flag.String("trace", "", "CSV trace file (header row = signal names)")
+	formulaText := flag.String("formula", "", "STL formula, e.g. 'F[0,12](true_bg > 180)'")
+	step := flag.Int("step", 0, "evaluation step")
+	all := flag.Bool("all", false, "evaluate at every step and summarize")
+	listSignals := flag.Bool("signals", false, "list the trace's signals and exit")
+	flag.Parse()
+
+	if *tracePath == "" {
+		return fmt.Errorf("missing -trace")
+	}
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	trace, err := stl.FromCSV(f)
+	if err != nil {
+		return err
+	}
+
+	if *listSignals {
+		names := make([]string, 0, len(trace.Signals))
+		for n := range trace.Signals {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("%s (%d samples)\n", n, len(trace.Signals[n]))
+		}
+		return nil
+	}
+	if *formulaText == "" {
+		return fmt.Errorf("missing -formula")
+	}
+	formula, err := stl.Parse(*formulaText)
+	if err != nil {
+		return err
+	}
+
+	if !*all {
+		ok, err := formula.Eval(trace, *step)
+		if err != nil {
+			return err
+		}
+		rob, err := formula.Robustness(trace, *step)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("step %d: %v (robustness %+.4g)\n", *step, verdict(ok), rob)
+		return nil
+	}
+
+	n := trace.Len()
+	satisfied := 0
+	firstViolation := -1
+	for t := 0; t < n; t++ {
+		ok, err := formula.Eval(trace, t)
+		if err != nil {
+			// Steps whose temporal window falls off the trace end are
+			// reported and skipped.
+			fmt.Printf("step %d: not evaluable (%v)\n", t, err)
+			continue
+		}
+		if ok {
+			satisfied++
+		} else if firstViolation < 0 {
+			firstViolation = t
+		}
+	}
+	fmt.Printf("%q satisfied at %d/%d steps\n", formula.String(), satisfied, n)
+	if firstViolation >= 0 {
+		fmt.Printf("first violation at step %d\n", firstViolation)
+	}
+	return nil
+}
+
+func verdict(ok bool) string {
+	if ok {
+		return "SATISFIED"
+	}
+	return "VIOLATED"
+}

@@ -1,0 +1,70 @@
+// Quickstart: simulate an artificial pancreas campaign, train an ML safety
+// monitor, and use it to flag unsafe control actions.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/dataset"
+	"repro/internal/monitor"
+)
+
+func main() {
+	// 1. Run a small closed-loop campaign (Glucosym patients + OpenAPS
+	//    controller) with fault injection to collect labeled data.
+	ds, err := dataset.Generate(dataset.CampaignConfig{
+		Simulator:          dataset.Glucosym,
+		Profiles:           6,
+		EpisodesPerProfile: 4,
+		Steps:              120,
+		Seed:               7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("campaign: %d samples, %.1f%% labeled unsafe\n", ds.Len(), 100*ds.UnsafeFraction())
+
+	// 2. Split by episode and train an MLP monitor.
+	train, test, err := ds.Split(0.75)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := monitor.Train(train, monitor.TrainConfig{
+		Arch:   monitor.ArchMLP,
+		Epochs: 15,
+		Seed:   7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Classify the held-out samples and count the alerts.
+	verdicts, err := m.Classify(test.Samples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var alerts, correct int
+	for i, v := range verdicts {
+		pred := 0
+		if v.Unsafe {
+			pred = 1
+			alerts++
+		}
+		if pred == test.Samples[i].Label {
+			correct++
+		}
+	}
+	fmt.Printf("monitor %q: %d alerts over %d test samples, accuracy %.1f%%\n",
+		m.Name(), alerts, test.Len(), 100*float64(correct)/float64(test.Len()))
+
+	// 4. Inspect one alert in context.
+	for i, v := range verdicts {
+		if v.Unsafe && test.Samples[i].Label == 1 {
+			s := test.Samples[i]
+			fmt.Printf("example alert: episode %d step %d: BG=%.0f mg/dL (trend %+.2f/min), IOB trend %+.3f, action=%v → UNSAFE (confidence %.2f)\n",
+				s.EpisodeID, s.Step, s.BG, s.DeltaBG, s.DeltaIOB, s.Action, v.Confidence)
+			break
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package attack implements the three input-perturbation strategies of §III
+// of the paper:
+//
+//   - accidental environment noise: zero-mean Gaussian noise on the sensor
+//     channels, with standard deviation expressed as a fraction of the data's
+//     standard deviation;
+//   - white-box FGSM: ∆x = ε·sign(∇_x J(x, y)) on the full multivariate
+//     input (sensor values and control commands), Eqs (3)-(4);
+//   - black-box FGSM: white-box FGSM against a substitute model trained from
+//     the target monitor's query responses, transferred to the target.
+//
+// All perturbations operate on the monitors' normalized feature space, where
+// each column has unit variance on the training set, so σ and ε budgets
+// correspond directly to the paper's "fractions of a standard deviation".
+package attack
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mat"
+	"repro/internal/nn"
+)
+
+// Gaussian adds N(0, σ²) noise to the listed columns of x (the sensor dims)
+// and returns the perturbed copy. In normalized feature space σ is the
+// paper's noise level (a fraction of each signal's standard deviation).
+func Gaussian(rng *rand.Rand, x *mat.Matrix, sensorDims []int, sigma float64) (*mat.Matrix, error) {
+	if sigma < 0 {
+		return nil, fmt.Errorf("attack: negative sigma %v", sigma)
+	}
+	out := x.Clone()
+	if sigma == 0 || len(sensorDims) == 0 {
+		return out, nil
+	}
+	for _, j := range sensorDims {
+		if j < 0 || j >= x.Cols() {
+			return nil, fmt.Errorf("attack: sensor dim %d out of range [0,%d)", j, x.Cols())
+		}
+	}
+	for i := 0; i < out.Rows(); i++ {
+		row := out.Row(i)
+		for _, j := range sensorDims {
+			row[j] += rng.NormFloat64() * sigma
+		}
+	}
+	return out, nil
+}
+
+// FGSM crafts white-box adversarial examples against model: x + ε·sign(∇_x J)
+// using the true labels (Eq 3-4). The perturbation touches every input
+// column — both sensor values and control commands, as in the paper.
+func FGSM(model *nn.Model, x *mat.Matrix, labels []int, eps float64) (*mat.Matrix, error) {
+	if eps < 0 {
+		return nil, fmt.Errorf("attack: negative epsilon %v", eps)
+	}
+	grad, err := model.InputGradient(x, labels, nil)
+	if err != nil {
+		return nil, fmt.Errorf("attack: fgsm gradient: %w", err)
+	}
+	out := x.Clone()
+	for i := 0; i < out.Rows(); i++ {
+		row := out.Row(i)
+		grow := grad.Row(i)
+		for j := range row {
+			switch {
+			case grow[j] > 0:
+				row[j] += eps
+			case grow[j] < 0:
+				row[j] -= eps
+			}
+		}
+	}
+	return out, nil
+}
+
+// SubstituteConfig sizes black-box substitute training.
+type SubstituteConfig struct {
+	// Epochs over the query set (default 30).
+	Epochs int
+	// BatchSize for minibatch training (default 256).
+	BatchSize int
+	// LR is the Adam learning rate (default 0.001).
+	LR float64
+	// Seed drives substitute weight init and shuffling.
+	Seed int64
+}
+
+func (c *SubstituteConfig) fill() {
+	if c.Epochs == 0 {
+		c.Epochs = 30
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 256
+	}
+	if c.LR == 0 {
+		c.LR = 0.001
+	}
+}
+
+// TrainSubstitute fits the attacker's substitute model (a two-layer 128-64
+// MLP, §III) on the target's query responses: the attacker sends the inputs
+// x and observes the predicted classes.
+func TrainSubstitute(queryX *mat.Matrix, targetPred []int, cfg SubstituteConfig) (*nn.Model, error) {
+	cfg.fill()
+	if queryX.Rows() != len(targetPred) {
+		return nil, fmt.Errorf("attack: %d query rows but %d target predictions", queryX.Rows(), len(targetPred))
+	}
+	if queryX.Rows() == 0 {
+		return nil, fmt.Errorf("attack: empty query set")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sub, err := nn.NewSubstituteMLP(rng, queryX.Cols(), 2)
+	if err != nil {
+		return nil, fmt.Errorf("attack: build substitute: %w", err)
+	}
+	opt := nn.NewAdam(cfg.LR)
+	n := queryX.Rows()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for from := 0; from < n; from += cfg.BatchSize {
+			to := from + cfg.BatchSize
+			if to > n {
+				to = n
+			}
+			bx := mat.New(to-from, queryX.Cols())
+			bl := make([]int, to-from)
+			for bi := range bl {
+				src := idx[from+bi]
+				copy(bx.Row(bi), queryX.Row(src))
+				bl[bi] = targetPred[src]
+			}
+			if _, err := sub.TrainBatch(bx, bl, nil, opt); err != nil {
+				return nil, fmt.Errorf("attack: substitute epoch %d: %w", epoch, err)
+			}
+		}
+	}
+	return sub, nil
+}
+
+// BlackBoxFGSM crafts transfer attacks: FGSM perturbations generated on the
+// substitute model, to be applied against the (unseen) target.
+func BlackBoxFGSM(substitute *nn.Model, x *mat.Matrix, labels []int, eps float64) (*mat.Matrix, error) {
+	return FGSM(substitute, x, labels, eps)
+}

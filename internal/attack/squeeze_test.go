@@ -1,0 +1,105 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func TestSqueezeQuantizes(t *testing.T) {
+	s := &FeatureSqueezer{BitDepth: 2, QuantRange: 1} // 3 levels over [-1,1]
+	x, err := mat.FromSlice(1, 4, []float64{-1, -0.2, 0.2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s.Squeeze(x)
+	// 2-bit depth → levels at -1, -1/3, 1/3, 1.
+	want := []float64{-1, -1.0 / 3, 1.0 / 3, 1}
+	for j, w := range want {
+		if math.Abs(out.At(0, j)-w) > 1e-9 {
+			t.Fatalf("quantized[%d] = %v, want %v", j, out.At(0, j), w)
+		}
+	}
+}
+
+func TestSqueezeClampsOutliers(t *testing.T) {
+	s := NewFeatureSqueezer()
+	x, err := mat.FromSlice(1, 2, []float64{-100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s.Squeeze(x)
+	if out.At(0, 0) != -4 || out.At(0, 1) != 4 {
+		t.Fatalf("clamp = %v, %v, want ±4", out.At(0, 0), out.At(0, 1))
+	}
+}
+
+func TestSqueezeIdempotent(t *testing.T) {
+	s := NewFeatureSqueezer()
+	x, err := mat.FromSlice(2, 3, []float64{0.1, -0.7, 2.3, 1.1, -3.2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	once := s.Squeeze(x)
+	twice := s.Squeeze(once)
+	if !mat.Equal(once, twice, 1e-12) {
+		t.Fatal("squeezing must be idempotent")
+	}
+}
+
+func TestSmoothTimeAveragesNeighbours(t *testing.T) {
+	s := &FeatureSqueezer{BitDepth: 16, QuantRange: 8, SmoothWidth: 3, FeaturesPerStep: 1}
+	x, err := mat.FromSlice(1, 3, []float64{0, 3, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s.Squeeze(x)
+	// Centered average: [1.5, 3, 4.5] (edges average available neighbours).
+	want := []float64{1.5, 3, 4.5}
+	for j, w := range want {
+		if math.Abs(out.At(0, j)-w) > 1e-3 {
+			t.Fatalf("smoothed[%d] = %v, want %v", j, out.At(0, j), w)
+		}
+	}
+}
+
+func TestFeatureSqueezingDetectsFGSM(t *testing.T) {
+	m, x, labels := trainedToyModel(t, 70)
+	adv, err := FGSM(m, x, labels, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewFeatureSqueezer()
+	s.Threshold = 0.2
+	tpr, fpr, err := s.DetectionRates(m, x, adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tpr <= fpr {
+		t.Fatalf("detector no better than chance: TPR %v ≤ FPR %v", tpr, fpr)
+	}
+	if fpr > 0.35 {
+		t.Fatalf("false-positive rate %v too high", fpr)
+	}
+}
+
+func TestDetectScoresBounded(t *testing.T) {
+	m, x, _ := trainedToyModel(t, 71)
+	s := NewFeatureSqueezer()
+	scores, flagged, err := s.Detect(m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != x.Rows() || len(flagged) != x.Rows() {
+		t.Fatal("score/flag lengths")
+	}
+	for i, sc := range scores {
+		if sc < 0 || sc > 2 { // L1 distance between two distributions ≤ 2
+			t.Fatalf("score[%d] = %v out of [0,2]", i, sc)
+		}
+		if flagged[i] != (sc > s.Threshold) {
+			t.Fatalf("flag[%d] inconsistent with score %v", i, sc)
+		}
+	}
+}

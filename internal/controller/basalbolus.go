@@ -1,0 +1,102 @@
+package controller
+
+// BasalBolus implements the hospital basal-bolus insulin protocol the paper
+// pairs with the T1DS2013 simulator: a fixed scheduled basal rate, a meal
+// bolus computed from the announced carbohydrates and a correction bolus
+// when glucose is above target at mealtime, plus low-glucose suspend.
+//
+// Boluses are delivered as a one-step rate increase (units spread over the
+// decision interval), which is how pump-based protocols realize them.
+type BasalBolus struct {
+	// Basal is the scheduled basal rate in U/h.
+	Basal float64
+	// CarbRatio is grams of carbohydrate covered per U (default 10).
+	CarbRatio float64
+	// ISF is the correction factor in mg/dL per U (default 50).
+	ISF float64
+	// TargetBG is the correction target in mg/dL (default 140).
+	TargetBG float64
+	// SuspendBG is the low-glucose suspend threshold (default 80).
+	SuspendBG float64
+	// MaxBolus caps a single bolus in U (default 10).
+	MaxBolus float64
+}
+
+var _ Controller = (*BasalBolus)(nil)
+
+// NewBasalBolus returns a Basal-Bolus controller with standard settings for
+// a patient whose scheduled basal rate is basal U/h.
+func NewBasalBolus(basal float64) *BasalBolus {
+	return &BasalBolus{
+		Basal:     basal,
+		CarbRatio: 10,
+		ISF:       50,
+		TargetBG:  140,
+		SuspendBG: 80,
+		MaxBolus:  10,
+	}
+}
+
+// Name implements Controller.
+func (b *BasalBolus) Name() string { return "basal_bolus" }
+
+// Reset implements Controller.
+func (b *BasalBolus) Reset() {}
+
+// Decide implements Controller.
+func (b *BasalBolus) Decide(obs Observation) float64 {
+	if obs.BG <= b.suspendBG() {
+		return 0
+	}
+	rate := b.Basal
+	if obs.AnnouncedCarbs > 0 {
+		bolus := obs.AnnouncedCarbs / b.carbRatio()
+		if obs.BG > b.targetBG() {
+			bolus += (obs.BG - b.targetBG()) / b.isf()
+		}
+		if mx := b.maxBolus(); bolus > mx {
+			bolus = mx
+		}
+		step := obs.StepMin
+		if step <= 0 {
+			step = 5
+		}
+		rate += bolus * 60 / step
+	}
+	return rate
+}
+
+func (b *BasalBolus) carbRatio() float64 {
+	if b.CarbRatio <= 0 {
+		return 10
+	}
+	return b.CarbRatio
+}
+
+func (b *BasalBolus) isf() float64 {
+	if b.ISF <= 0 {
+		return 50
+	}
+	return b.ISF
+}
+
+func (b *BasalBolus) targetBG() float64 {
+	if b.TargetBG <= 0 {
+		return 140
+	}
+	return b.TargetBG
+}
+
+func (b *BasalBolus) suspendBG() float64 {
+	if b.SuspendBG <= 0 {
+		return 80
+	}
+	return b.SuspendBG
+}
+
+func (b *BasalBolus) maxBolus() float64 {
+	if b.MaxBolus <= 0 {
+		return 10
+	}
+	return b.MaxBolus
+}

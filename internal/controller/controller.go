@@ -1,0 +1,86 @@
+// Package controller implements the two APS control algorithms the paper
+// evaluates: an OpenAPS-style temp-basal controller (paired with the
+// Glucosym simulator) and a Basal-Bolus protocol (paired with the T1DS
+// simulator), plus the control-action taxonomy u1..u4 used by the safety
+// specifications in Table I.
+package controller
+
+import "fmt"
+
+// Action is the discrete classification of a control command relative to the
+// previous command: u1..u4 of Table I.
+type Action int
+
+const (
+	// ActionDecrease is u1: decrease_insulin.
+	ActionDecrease Action = iota + 1
+	// ActionIncrease is u2: increase_insulin.
+	ActionIncrease
+	// ActionStop is u3: stop_insulin.
+	ActionStop
+	// ActionKeep is u4: keep_insulin.
+	ActionKeep
+)
+
+// String implements fmt.Stringer.
+func (a Action) String() string {
+	switch a {
+	case ActionDecrease:
+		return "decrease_insulin"
+	case ActionIncrease:
+		return "increase_insulin"
+	case ActionStop:
+		return "stop_insulin"
+	case ActionKeep:
+		return "keep_insulin"
+	default:
+		return fmt.Sprintf("Action(%d)", int(a))
+	}
+}
+
+// Classify maps a rate transition to its Table I action class. Rates within
+// tol of each other count as "keep"; a next rate of (near) zero is "stop".
+func Classify(prevRate, nextRate, tol float64) Action {
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	switch {
+	case nextRate <= tol:
+		return ActionStop
+	case nextRate > prevRate+tol:
+		return ActionIncrease
+	case nextRate < prevRate-tol:
+		return ActionDecrease
+	default:
+		return ActionKeep
+	}
+}
+
+// Observation is the controller's view of the system at a decision point.
+type Observation struct {
+	TimeMin float64
+	// BG is the CGM reading (mg/dL), not the true plasma glucose.
+	BG float64
+	// PrevBG is the previous CGM reading (for trend estimation); zero on the
+	// first step.
+	PrevBG float64
+	// IOB is the estimated insulin on board (U).
+	IOB float64
+	// LastRate is the previously commanded infusion (U/h).
+	LastRate float64
+	// AnnouncedCarbs is the carbohydrate content (g) of a meal announced at
+	// this step (Basal-Bolus uses it; OpenAPS does not).
+	AnnouncedCarbs float64
+	// StepMin is the decision interval in minutes.
+	StepMin float64
+}
+
+// Controller decides an insulin infusion rate each control step.
+type Controller interface {
+	// Name identifies the algorithm ("openaps" or "basal_bolus").
+	Name() string
+	// Decide returns the commanded infusion rate (U/h).
+	Decide(obs Observation) float64
+	// Reset clears internal state between episodes.
+	Reset()
+}

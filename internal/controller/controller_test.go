@@ -1,0 +1,265 @@
+package controller
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClassify(t *testing.T) {
+	tests := []struct {
+		name       string
+		prev, next float64
+		want       Action
+	}{
+		{"increase", 1.0, 1.5, ActionIncrease},
+		{"decrease", 1.5, 1.0, ActionDecrease},
+		{"keep", 1.0, 1.0, ActionKeep},
+		{"keep within tol", 1.0, 1.0 + 1e-12, ActionKeep},
+		{"stop", 1.0, 0, ActionStop},
+		{"stop beats decrease", 2.0, 0, ActionStop},
+		{"increase from zero", 0, 0.5, ActionIncrease},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Classify(tt.prev, tt.next, 1e-9); got != tt.want {
+				t.Fatalf("Classify(%v, %v) = %v, want %v", tt.prev, tt.next, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestClassifyTotal(t *testing.T) {
+	// Every rate transition maps to exactly one of the four actions.
+	f := func(prev, next float64) bool {
+		if prev < 0 {
+			prev = -prev
+		}
+		if next < 0 {
+			next = -next
+		}
+		a := Classify(prev, next, 1e-9)
+		return a == ActionDecrease || a == ActionIncrease || a == ActionStop || a == ActionKeep
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestActionString(t *testing.T) {
+	want := map[Action]string{
+		ActionDecrease: "decrease_insulin",
+		ActionIncrease: "increase_insulin",
+		ActionStop:     "stop_insulin",
+		ActionKeep:     "keep_insulin",
+		Action(42):     "Action(42)",
+	}
+	for a, s := range want {
+		if a.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(a), a.String(), s)
+		}
+	}
+}
+
+func obs(bg, prevBG, iob, lastRate float64) Observation {
+	return Observation{BG: bg, PrevBG: prevBG, IOB: iob, LastRate: lastRate, StepMin: 5}
+}
+
+func TestOpenAPSSuspendsOnLowBG(t *testing.T) {
+	c := NewOpenAPS(1.0)
+	if got := c.Decide(obs(75, 78, 0, 1)); got != 0 {
+		t.Fatalf("rate at BG 75 = %v, want 0 (low-glucose suspend)", got)
+	}
+}
+
+func TestOpenAPSRaisesOnHighBG(t *testing.T) {
+	c := NewOpenAPS(1.0)
+	got := c.Decide(obs(220, 215, 0, 1))
+	if got <= 1.0 {
+		t.Fatalf("rate at BG 220 = %v, want > basal", got)
+	}
+}
+
+func TestOpenAPSBacksOffWithHighIOB(t *testing.T) {
+	c := NewOpenAPS(1.0)
+	withIOB := c.Decide(obs(220, 220, 4, 1))
+	without := c.Decide(obs(220, 220, 0, 1))
+	if withIOB >= without {
+		t.Fatalf("IOB must reduce the commanded rate: %v ≥ %v", withIOB, without)
+	}
+}
+
+func TestOpenAPSClampsToMaxTemp(t *testing.T) {
+	c := NewOpenAPS(1.0)
+	got := c.Decide(obs(500, 500, 0, 1))
+	if got > 4.0 {
+		t.Fatalf("rate = %v exceeds 4x basal cap", got)
+	}
+}
+
+func TestOpenAPSMomentum(t *testing.T) {
+	c := NewOpenAPS(1.0)
+	rising := c.Decide(obs(150, 130, 0, 1))  // +4 mg/dL/min
+	falling := c.Decide(obs(150, 170, 0, 1)) // −4 mg/dL/min
+	if rising <= falling {
+		t.Fatalf("rising BG must command more insulin: rising %v ≤ falling %v", rising, falling)
+	}
+}
+
+func TestOpenAPSNearTargetHoldsBasal(t *testing.T) {
+	c := NewOpenAPS(1.0)
+	got := c.Decide(obs(120, 120, 0, 1))
+	if got < 0.8 || got > 1.2 {
+		t.Fatalf("rate at target = %v, want ≈ basal 1.0", got)
+	}
+}
+
+func TestOpenAPSZeroValueDefaults(t *testing.T) {
+	c := &OpenAPS{Basal: 1}
+	if got := c.Decide(obs(120, 120, 0, 1)); got < 0.5 || got > 1.5 {
+		t.Fatalf("zero-value OpenAPS at target basal = %v", got)
+	}
+}
+
+func TestBasalBolusHoldsBasalBetweenMeals(t *testing.T) {
+	c := NewBasalBolus(0.8)
+	if got := c.Decide(obs(160, 158, 0, 0.8)); got != 0.8 {
+		t.Fatalf("rate between meals = %v, want basal 0.8", got)
+	}
+}
+
+func TestBasalBolusMealBolus(t *testing.T) {
+	c := NewBasalBolus(0.8)
+	o := obs(130, 130, 0, 0.8)
+	o.AnnouncedCarbs = 50
+	got := c.Decide(o)
+	// 50 g / 10 g/U = 5 U over 5 min → +60 U/h.
+	want := 0.8 + 5.0*60/5
+	if got != want {
+		t.Fatalf("meal rate = %v, want %v", got, want)
+	}
+}
+
+func TestBasalBolusCorrectionOnlyAboveTarget(t *testing.T) {
+	c := NewBasalBolus(0.8)
+	low := obs(120, 120, 0, 0.8)
+	low.AnnouncedCarbs = 30
+	high := obs(240, 240, 0, 0.8)
+	high.AnnouncedCarbs = 30
+	if c.Decide(high) <= c.Decide(low) {
+		t.Fatal("correction bolus must add insulin above target")
+	}
+}
+
+func TestBasalBolusMaxBolusCap(t *testing.T) {
+	c := NewBasalBolus(0.8)
+	o := obs(400, 400, 0, 0.8)
+	o.AnnouncedCarbs = 500
+	got := c.Decide(o)
+	want := 0.8 + 10.0*60/5 // capped at MaxBolus=10 U
+	if got != want {
+		t.Fatalf("capped rate = %v, want %v", got, want)
+	}
+}
+
+func TestBasalBolusSuspend(t *testing.T) {
+	c := NewBasalBolus(0.8)
+	o := obs(70, 75, 0, 0.8)
+	o.AnnouncedCarbs = 50
+	if got := c.Decide(o); got != 0 {
+		t.Fatalf("rate at BG 70 = %v, want 0", got)
+	}
+}
+
+func TestBasalBolusZeroStepMinDefaults(t *testing.T) {
+	c := NewBasalBolus(1)
+	o := Observation{BG: 150, AnnouncedCarbs: 10}
+	got := c.Decide(o)
+	want := 1 + 1.0*60/5 + (150-140)/50.0*60/5
+	if got != want {
+		t.Fatalf("rate = %v, want %v", got, want)
+	}
+}
+
+func TestOpenAPSRateDeadband(t *testing.T) {
+	c := NewOpenAPS(1.0)
+	// A context whose computed adjustment is small (+0.12 U/h here) must
+	// keep the last rate.
+	o := obs(123, 123, 0, 1.0)
+	if got := c.Decide(o); got != 1.0 {
+		t.Fatalf("rate = %v, want previous 1.0 (deadband)", got)
+	}
+	// Disabling the deadband lets micro-adjustments through.
+	c2 := NewOpenAPS(1.0)
+	c2.RateDeadband = -1
+	if got := c2.Decide(o); got == 1.0 {
+		t.Fatalf("rate = %v, want a non-identical micro adjustment", got)
+	}
+}
+
+func TestOpenAPSLowTempInsteadOfSuspend(t *testing.T) {
+	c := NewOpenAPS(1.0)
+	c.Reset()
+	// Eventual BG below target but well above the suspend threshold: issue a
+	// low temp basal, not a full stop.
+	got := c.Decide(obs(110, 111, 0.4, 1.0))
+	if got == 0 {
+		t.Fatal("full suspend issued for a mild projection")
+	}
+	if got > 0.5 {
+		t.Fatalf("rate = %v, want a low temp < 0.5", got)
+	}
+	// Strongly hypo-bound projection: full suspend.
+	got = c.Decide(obs(95, 100, 3.0, 0.2))
+	if got != 0 {
+		t.Fatalf("rate = %v, want 0 for hypo-bound projection", got)
+	}
+}
+
+func TestOpenAPSTrendSmoothingReducesJitter(t *testing.T) {
+	// Feed alternating BG deltas; the smoothed controller's rate variance
+	// must be below the unsmoothed one's.
+	variance := func(smoothing float64) float64 {
+		c := NewOpenAPS(1.0)
+		c.TrendSmoothing = smoothing
+		c.RateDeadband = -1
+		c.Reset()
+		prev := 150.0
+		last := 1.0
+		var rates []float64
+		for i := 0; i < 40; i++ {
+			bg := 150.0
+			if i%2 == 0 {
+				bg = 156
+			}
+			r := c.Decide(obs(bg, prev, 0.5, last))
+			rates = append(rates, r)
+			prev, last = bg, r
+		}
+		var mean float64
+		for _, r := range rates {
+			mean += r
+		}
+		mean /= float64(len(rates))
+		var v float64
+		for _, r := range rates {
+			v += (r - mean) * (r - mean)
+		}
+		return v / float64(len(rates))
+	}
+	smooth := variance(0.8)
+	rough := variance(-1) // disabled
+	if smooth >= rough {
+		t.Fatalf("smoothing did not reduce rate variance: %v ≥ %v", smooth, rough)
+	}
+}
+
+func TestOpenAPSResetClearsTrend(t *testing.T) {
+	c := NewOpenAPS(1.0)
+	c.RateDeadband = -1
+	r1 := c.Decide(obs(150, 100, 0, 1)) // huge rise → big momentum
+	c.Reset()
+	r2 := c.Decide(obs(150, 100, 0, 1))
+	if r1 != r2 {
+		t.Fatalf("Reset did not clear trend state: %v vs %v", r1, r2)
+	}
+}

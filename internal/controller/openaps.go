@@ -1,0 +1,176 @@
+package controller
+
+// OpenAPS implements the decision logic of the OpenAPS reference design:
+// project the eventual blood glucose from the current reading, a short-term
+// momentum term and the glucose-lowering effect of the insulin already on
+// board, then issue a 30-minute temp basal that closes the gap to target.
+//
+//	eventualBG = BG + momentum − IOB·ISF
+//	rate       = basal + (eventualBG − target)/ISF · (60/tempDuration)
+//
+// with low-glucose suspend below the safety threshold and the rate clamped
+// to [0, maxTempFactor·basal].
+type OpenAPS struct {
+	// TargetBG is the glucose target in mg/dL (default 120).
+	TargetBG float64
+	// ISF is the insulin sensitivity factor in mg/dL per U (default 50).
+	ISF float64
+	// Basal is the scheduled basal rate in U/h.
+	Basal float64
+	// MaxTempFactor caps temp basals at this multiple of Basal (default 4).
+	MaxTempFactor float64
+	// SuspendBG is the low-glucose suspend threshold (default 80 mg/dL).
+	SuspendBG float64
+	// TempDurationMin is the horizon a temp basal is sized for (default 30).
+	TempDurationMin float64
+	// MomentumHorizonMin projects the recent BG trend this far ahead
+	// (default 15).
+	MomentumHorizonMin float64
+	// TrendSmoothing is the EMA coefficient applied to the raw BG delta
+	// before projecting momentum, suppressing CGM noise (default 0.5; 0
+	// keeps the default, negative disables smoothing).
+	TrendSmoothing float64
+	// RateDeadband suppresses temp-basal adjustments smaller than this
+	// fraction of Basal — real pumps do not issue micro-corrections
+	// (default 0.15; negative disables).
+	RateDeadband float64
+
+	emaTrend float64 // smoothed BG delta per minute
+	hasTrend bool
+}
+
+var _ Controller = (*OpenAPS)(nil)
+
+// NewOpenAPS returns an OpenAPS controller with the standard settings for a
+// patient whose scheduled basal rate is basal U/h.
+func NewOpenAPS(basal float64) *OpenAPS {
+	return &OpenAPS{
+		TargetBG:           120,
+		ISF:                50,
+		Basal:              basal,
+		MaxTempFactor:      4,
+		SuspendBG:          80,
+		TempDurationMin:    30,
+		MomentumHorizonMin: 15,
+	}
+}
+
+// Name implements Controller.
+func (o *OpenAPS) Name() string { return "openaps" }
+
+// Reset implements Controller.
+func (o *OpenAPS) Reset() {
+	o.emaTrend = 0
+	o.hasTrend = false
+}
+
+// Decide implements Controller.
+func (o *OpenAPS) Decide(obs Observation) float64 {
+	if obs.BG <= o.suspendBG() {
+		return 0
+	}
+	momentum := 0.0
+	if obs.PrevBG > 0 && obs.StepMin > 0 {
+		delta := (obs.BG - obs.PrevBG) / obs.StepMin
+		alpha := o.trendSmoothing()
+		if o.hasTrend {
+			o.emaTrend = alpha*o.emaTrend + (1-alpha)*delta
+		} else {
+			o.emaTrend = delta
+			o.hasTrend = true
+		}
+		momentum = o.emaTrend * o.momentumHorizon()
+	}
+	eventual := obs.BG + momentum - obs.IOB*o.isf()
+	required := (eventual - o.targetBG()) / o.isf() // U needed now
+	rate := o.Basal + required*60/o.tempDuration()
+	maxRate := o.maxTempFactor() * o.Basal
+	if rate < 0 {
+		// Full suspend only when the projection lands near hypoglycemia;
+		// otherwise issue a low temp basal, as the OpenAPS reference design
+		// does.
+		if eventual <= o.suspendBG() {
+			rate = 0
+		} else {
+			rate = 0.2 * o.Basal
+		}
+	}
+	if rate > maxRate {
+		rate = maxRate
+	}
+	// Suppress micro-adjustments: keep the previous rate when the change is
+	// inside the deadband.
+	if db := o.rateDeadband(); db > 0 && abs(rate-obs.LastRate) < db*o.Basal {
+		rate = obs.LastRate
+	}
+	return rate
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func (o *OpenAPS) targetBG() float64 {
+	if o.TargetBG <= 0 {
+		return 120
+	}
+	return o.TargetBG
+}
+
+func (o *OpenAPS) isf() float64 {
+	if o.ISF <= 0 {
+		return 50
+	}
+	return o.ISF
+}
+
+func (o *OpenAPS) maxTempFactor() float64 {
+	if o.MaxTempFactor <= 0 {
+		return 4
+	}
+	return o.MaxTempFactor
+}
+
+func (o *OpenAPS) suspendBG() float64 {
+	if o.SuspendBG <= 0 {
+		return 80
+	}
+	return o.SuspendBG
+}
+
+func (o *OpenAPS) tempDuration() float64 {
+	if o.TempDurationMin <= 0 {
+		return 30
+	}
+	return o.TempDurationMin
+}
+
+func (o *OpenAPS) momentumHorizon() float64 {
+	if o.MomentumHorizonMin <= 0 {
+		return 15
+	}
+	return o.MomentumHorizonMin
+}
+
+func (o *OpenAPS) trendSmoothing() float64 {
+	if o.TrendSmoothing < 0 {
+		return 0
+	}
+	if o.TrendSmoothing == 0 {
+		return 0.5
+	}
+	return o.TrendSmoothing
+}
+
+func (o *OpenAPS) rateDeadband() float64 {
+	if o.RateDeadband < 0 {
+		return 0
+	}
+	if o.RateDeadband == 0 {
+		return 0.15
+	}
+	return o.RateDeadband
+}

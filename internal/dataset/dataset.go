@@ -1,0 +1,349 @@
+// Package dataset turns closed-loop simulation campaigns into the labeled
+// monitor datasets of the paper: sliding windows over the multivariate
+// time series (sensor values and control commands), hazard-ahead labels
+// (Eq 1), aggregated features f(µ(X_t)) for the MLP monitors, raw windows
+// for the LSTM monitors, and the STL knowledge indicator used by the
+// semantic loss (Eq 2).
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/controller"
+	"repro/internal/mat"
+	"repro/internal/sim"
+	"repro/internal/stl"
+)
+
+// Per-step features in the LSTM window, in column order.
+const (
+	SeqFeatBG = iota
+	SeqFeatIOB
+	SeqFeatDeltaBG
+	SeqFeatDeltaIOB
+	SeqFeatRate
+	SeqFeatAction
+	SeqFeatureCount
+)
+
+// Aggregated features for the MLP monitor, in column order.
+const (
+	MLPFeatMeanBG = iota
+	MLPFeatSlopeBG
+	MLPFeatMeanIOB
+	MLPFeatSlopeIOB
+	MLPFeatMeanRate
+	MLPFeatLastBG
+	MLPFeatLastIOB
+	MLPFeatAction
+	MLPFeatureCount
+)
+
+// Sample is one labeled monitor input at a time step.
+type Sample struct {
+	// MLP is the aggregated feature vector (MLPFeatureCount wide).
+	MLP []float64
+	// Seq is the flattened raw window (Window × SeqFeatureCount wide,
+	// step-major).
+	Seq []float64
+	// Label is 1 when a hazard occurs within the prediction horizon (Eq 1).
+	Label int
+	// Knowledge is the indicator I(⋁Φ_h) of Eq 2, evaluated on the
+	// aggregated window context.
+	Knowledge float64
+
+	// Aggregated context used by the rule-based monitor and Fig 3.
+	BG, DeltaBG, DeltaIOB float64
+	Action                controller.Action
+
+	// Provenance.
+	EpisodeID int
+	Step      int
+	// HazardNow marks a hazard at this step (used by the tolerance-window
+	// ground truth G(t)).
+	HazardNow bool
+}
+
+// Dataset is an ordered set of samples grouped into episodes.
+type Dataset struct {
+	Simulator string
+	Window    int // W: steps per monitor window
+	Horizon   int // T: hazard prediction horizon in steps
+	BGTarget  float64
+	Samples   []Sample
+	// EpisodeIndex[i] is the [from, to) sample range of episode i.
+	EpisodeIndex [][2]int
+
+	// Normalization statistics (per feature column, computed on this set or
+	// inherited from the training set).
+	MLPNorm *Normalizer
+	SeqNorm *Normalizer
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.Samples) }
+
+// UnsafeFraction returns the fraction of samples labeled unsafe.
+func (d *Dataset) UnsafeFraction() float64 {
+	if len(d.Samples) == 0 {
+		return 0
+	}
+	n := 0
+	for _, s := range d.Samples {
+		n += s.Label
+	}
+	return float64(n) / float64(len(d.Samples))
+}
+
+// Labels returns the label vector.
+func (d *Dataset) Labels() []int {
+	out := make([]int, len(d.Samples))
+	for i, s := range d.Samples {
+		out[i] = s.Label
+	}
+	return out
+}
+
+// Knowledge returns the per-sample semantic-loss indicators.
+func (d *Dataset) Knowledge() []float64 {
+	out := make([]float64, len(d.Samples))
+	for i, s := range d.Samples {
+		out[i] = s.Knowledge
+	}
+	return out
+}
+
+// MLPMatrix assembles the normalized aggregated-feature design matrix.
+func (d *Dataset) MLPMatrix() (*mat.Matrix, error) {
+	x := mat.New(len(d.Samples), MLPFeatureCount)
+	for i, s := range d.Samples {
+		if err := x.SetRow(i, s.MLP); err != nil {
+			return nil, fmt.Errorf("dataset: sample %d: %w", i, err)
+		}
+	}
+	if d.MLPNorm != nil {
+		d.MLPNorm.Apply(x)
+	}
+	return x, nil
+}
+
+// SeqMatrix assembles the normalized raw-window design matrix.
+func (d *Dataset) SeqMatrix() (*mat.Matrix, error) {
+	if len(d.Samples) == 0 {
+		return mat.New(0, 0), nil
+	}
+	w := len(d.Samples[0].Seq)
+	x := mat.New(len(d.Samples), w)
+	for i, s := range d.Samples {
+		if err := x.SetRow(i, s.Seq); err != nil {
+			return nil, fmt.Errorf("dataset: sample %d: %w", i, err)
+		}
+	}
+	if d.SeqNorm != nil {
+		d.SeqNorm.Apply(x)
+	}
+	return x, nil
+}
+
+// SensorDimsMLP returns the aggregated-feature columns derived from sensor
+// data (the dims Gaussian noise perturbs; control-command dims are excluded,
+// matching §III of the paper).
+func SensorDimsMLP() []int {
+	return []int{MLPFeatMeanBG, MLPFeatSlopeBG, MLPFeatMeanIOB, MLPFeatSlopeIOB, MLPFeatLastBG, MLPFeatLastIOB}
+}
+
+// SensorDimsSeq returns the raw-window columns derived from sensor data for
+// a window of w steps.
+func SensorDimsSeq(w int) []int {
+	var dims []int
+	for s := 0; s < w; s++ {
+		base := s * SeqFeatureCount
+		dims = append(dims, base+SeqFeatBG, base+SeqFeatIOB, base+SeqFeatDeltaBG, base+SeqFeatDeltaIOB)
+	}
+	return dims
+}
+
+// windowFeatures computes the aggregated and raw features for the window of
+// records ending at index end (inclusive).
+func windowFeatures(records []sim.Record, end, window int, stepMin float64) (mlp, seq []float64, bg, dbg, diob float64) {
+	seq = make([]float64, 0, window*SeqFeatureCount)
+	var sumBG, sumIOB, sumRate float64
+	first := end - window + 1
+	for i := first; i <= end; i++ {
+		r := records[i]
+		seq = append(seq, r.CGM, r.IOB, r.DeltaBG, r.DeltaIOB, r.Rate, float64(r.Action))
+		sumBG += r.CGM
+		sumIOB += r.IOB
+		sumRate += r.Rate
+	}
+	n := float64(window)
+	slopeBG := regressionSlope(records, first, end, stepMin, func(r sim.Record) float64 { return r.CGM })
+	slopeIOB := regressionSlope(records, first, end, stepMin, func(r sim.Record) float64 { return r.IOB })
+	last := records[end]
+	mlp = []float64{
+		sumBG / n,
+		slopeBG,
+		sumIOB / n,
+		slopeIOB,
+		sumRate / n,
+		last.CGM,
+		last.IOB,
+		float64(last.Action),
+	}
+	return mlp, seq, sumBG / n, slopeBG, slopeIOB
+}
+
+// regressionSlope fits a least-squares line over the window and returns its
+// slope per minute — the f(·) aggregation the paper applies to derivatives.
+func regressionSlope(records []sim.Record, first, end int, stepMin float64, get func(sim.Record) float64) float64 {
+	n := float64(end - first + 1)
+	if n < 2 {
+		return 0
+	}
+	var sx, sy, sxx, sxy float64
+	for i := first; i <= end; i++ {
+		x := float64(i-first) * stepMin
+		y := get(records[i])
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / den
+}
+
+// SampleFromWindow builds one (unlabeled) monitor input sample from a full
+// window of records — the online path used by the safety guard that reviews
+// live commands. The records slice must hold at least two steps; the sample
+// context covers exactly the given records.
+func SampleFromWindow(records []sim.Record, stepMin float64) (Sample, error) {
+	if len(records) < 2 {
+		return Sample{}, fmt.Errorf("dataset: window of %d records, want ≥ 2", len(records))
+	}
+	if stepMin <= 0 {
+		stepMin = 5
+	}
+	mlp, seq, bg, dbg, diob := windowFeatures(records, len(records)-1, len(records), stepMin)
+	last := records[len(records)-1]
+	return Sample{
+		MLP:      mlp,
+		Seq:      seq,
+		BG:       bg,
+		DeltaBG:  dbg,
+		DeltaIOB: diob,
+		Action:   last.Action,
+		Step:     last.Step,
+	}, nil
+}
+
+// FromTraces slices labeled samples out of episode traces.
+func FromTraces(traces []*sim.Trace, window, horizon int, bgTarget float64) (*Dataset, error) {
+	if window < 2 {
+		return nil, fmt.Errorf("dataset: window %d, want ≥ 2", window)
+	}
+	if horizon < 1 {
+		return nil, fmt.Errorf("dataset: horizon %d, want ≥ 1", horizon)
+	}
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("dataset: no traces")
+	}
+	rules := stl.APSRules(bgTarget)
+	ds := &Dataset{
+		Simulator: traces[0].Simulator,
+		Window:    window,
+		Horizon:   horizon,
+		BGTarget:  bgTarget,
+	}
+	for epID, tr := range traces {
+		from := len(ds.Samples)
+		recs := tr.Records
+		for t := window - 1; t < len(recs); t++ {
+			mlp, seq, bg, dbg, diob := windowFeatures(recs, t, window, tr.StepMin)
+			label := 0
+			for h := t; h <= t+horizon && h < len(recs); h++ {
+				if recs[h].Hazard {
+					label = 1
+					break
+				}
+			}
+			action := recs[t].Action
+			unsafe, _, err := stl.EvalRules(rules, stl.ContextTrace(bg, dbg, diob, action), 0)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: episode %d step %d: %w", epID, t, err)
+			}
+			know := 0.0
+			if unsafe {
+				know = 1
+			}
+			ds.Samples = append(ds.Samples, Sample{
+				MLP:       mlp,
+				Seq:       seq,
+				Label:     label,
+				Knowledge: know,
+				BG:        bg,
+				DeltaBG:   dbg,
+				DeltaIOB:  diob,
+				Action:    action,
+				EpisodeID: epID,
+				Step:      t,
+				HazardNow: recs[t].Hazard,
+			})
+		}
+		ds.EpisodeIndex = append(ds.EpisodeIndex, [2]int{from, len(ds.Samples)})
+	}
+	return ds, nil
+}
+
+// Split partitions the dataset by episode into train and test sets (the
+// fraction is of episodes, not samples, to avoid window leakage across the
+// boundary). Episodes are dealt out with a fixed-seed shuffle so both sides
+// see every profile and fault mix. Normalizers are fit on the training set
+// and shared with test.
+func (d *Dataset) Split(trainFrac float64) (train, test *Dataset, err error) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		return nil, nil, fmt.Errorf("dataset: train fraction %v out of (0,1)", trainFrac)
+	}
+	nEp := len(d.EpisodeIndex)
+	cut := int(math.Round(float64(nEp) * trainFrac))
+	if cut == 0 || cut == nEp {
+		return nil, nil, fmt.Errorf("dataset: split %v leaves an empty side (%d episodes)", trainFrac, nEp)
+	}
+	order := make([]int, nEp)
+	for i := range order {
+		order[i] = i
+	}
+	rand.New(rand.NewSource(929)).Shuffle(nEp, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	mk := func(eps []int) *Dataset {
+		out := &Dataset{
+			Simulator: d.Simulator,
+			Window:    d.Window,
+			Horizon:   d.Horizon,
+			BGTarget:  d.BGTarget,
+		}
+		for _, ep := range eps {
+			r := d.EpisodeIndex[ep]
+			from := len(out.Samples)
+			out.Samples = append(out.Samples, d.Samples[r[0]:r[1]]...)
+			out.EpisodeIndex = append(out.EpisodeIndex, [2]int{from, len(out.Samples)})
+		}
+		return out
+	}
+	train = mk(order[:cut])
+	test = mk(order[cut:])
+	train.MLPNorm, err = fitNormalizer(train, func(s Sample) []float64 { return s.MLP })
+	if err != nil {
+		return nil, nil, err
+	}
+	train.SeqNorm, err = fitSeqNormalizer(train)
+	if err != nil {
+		return nil, nil, err
+	}
+	test.MLPNorm, test.SeqNorm = train.MLPNorm, train.SeqNorm
+	return train, test, nil
+}

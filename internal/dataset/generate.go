@@ -1,0 +1,122 @@
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Simulator selects which closed-loop case study a campaign runs.
+type Simulator int
+
+const (
+	// Glucosym pairs the Bergman-style patient with the OpenAPS controller.
+	Glucosym Simulator = iota + 1
+	// T1DS pairs the Hovorka-style patient with the Basal-Bolus controller.
+	T1DS
+)
+
+// String implements fmt.Stringer.
+func (s Simulator) String() string {
+	switch s {
+	case Glucosym:
+		return "glucosym"
+	case T1DS:
+		return "t1ds"
+	default:
+		return fmt.Sprintf("Simulator(%d)", int(s))
+	}
+}
+
+// CampaignConfig sizes a simulation campaign. The paper runs 8,800
+// simulations per simulator; the defaults here are laptop-scale and every
+// knob scales up.
+type CampaignConfig struct {
+	Simulator Simulator
+	// Profiles is the number of patient profiles to simulate (≤ 20).
+	Profiles int
+	// EpisodesPerProfile is the number of episodes per profile; half of them
+	// (rounded up) receive an injected fault.
+	EpisodesPerProfile int
+	// Steps is the episode length in 5-minute control steps.
+	Steps int
+	// Window is the monitor input window W (default 6 = 30 min).
+	Window int
+	// Horizon is the hazard prediction horizon T in steps (default 12 =
+	// 60 min; insulin and glucose dynamics act over tens of minutes, so a
+	// 30-minute horizon misses most slow-onset hyperglycemia).
+	Horizon int
+	// BGTarget is the BGT constant of the Table I rules (default 140).
+	BGTarget float64
+	// Seed makes the campaign reproducible.
+	Seed int64
+}
+
+func (c *CampaignConfig) fill() {
+	if c.Profiles == 0 {
+		c.Profiles = 20
+	}
+	if c.EpisodesPerProfile == 0 {
+		c.EpisodesPerProfile = 4
+	}
+	if c.Steps == 0 {
+		c.Steps = 200
+	}
+	if c.Window == 0 {
+		c.Window = 6
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 12
+	}
+	if c.BGTarget == 0 {
+		c.BGTarget = 140
+	}
+}
+
+// Generate runs the campaign and assembles the labeled dataset.
+func Generate(cfg CampaignConfig) (*Dataset, error) {
+	cfg.fill()
+	if cfg.Simulator != Glucosym && cfg.Simulator != T1DS {
+		return nil, fmt.Errorf("dataset: unknown simulator %d", int(cfg.Simulator))
+	}
+	traces, err := RunCampaign(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return FromTraces(traces, cfg.Window, cfg.Horizon, cfg.BGTarget)
+}
+
+// RunCampaign executes the episodes of a campaign and returns their traces
+// (exposed separately for the example programs and trace-level experiments).
+func RunCampaign(cfg CampaignConfig) ([]*sim.Trace, error) {
+	cfg.fill()
+	var traces []*sim.Trace
+	for prof := 0; prof < cfg.Profiles; prof++ {
+		for ep := 0; ep < cfg.EpisodesPerProfile; ep++ {
+			ec := sim.EpisodeConfig{
+				ProfileID: prof,
+				Seed:      cfg.Seed + int64(prof)*1_000_003 + int64(ep)*7_907,
+				Faulty:    ep%2 == 0, // half the episodes carry a fault
+			}
+			var (
+				scfg sim.Config
+				err  error
+			)
+			switch cfg.Simulator {
+			case Glucosym:
+				scfg, err = sim.BuildGlucosymEpisode(ec, cfg.Steps)
+			case T1DS:
+				scfg, err = sim.BuildT1DSEpisode(ec, cfg.Steps)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("dataset: build episode (profile %d, ep %d): %w", prof, ep, err)
+			}
+			tr, err := sim.Run(scfg)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: run episode (profile %d, ep %d): %w", prof, ep, err)
+			}
+			traces = append(traces, tr)
+		}
+	}
+	return traces, nil
+}

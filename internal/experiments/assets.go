@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/monitor"
+)
+
+// MonitorNames lists the five monitors of Table III in report order.
+var MonitorNames = []string{"rule_based", "mlp", "lstm", "mlp_custom", "lstm_custom"}
+
+// MLMonitorNames lists the four ML monitors of the robustness figures.
+var MLMonitorNames = []string{"mlp", "mlp_custom", "lstm", "lstm_custom"}
+
+// Simulators lists both case studies in report order.
+var Simulators = []dataset.Simulator{dataset.Glucosym, dataset.T1DS}
+
+// SimAssets bundles everything evaluated for one simulator.
+type SimAssets struct {
+	Full     *dataset.Dataset
+	Train    *dataset.Dataset
+	Test     *dataset.Dataset
+	Monitors map[string]monitor.Monitor
+}
+
+// MLMonitor returns a trained ML monitor by name.
+func (s *SimAssets) MLMonitor(name string) (*monitor.MLMonitor, error) {
+	m, ok := s.Monitors[name].(*monitor.MLMonitor)
+	if !ok {
+		return nil, fmt.Errorf("experiments: %q is not an ML monitor", name)
+	}
+	return m, nil
+}
+
+// Assets holds datasets and trained monitors for both simulators.
+type Assets struct {
+	Config Config
+	Sims   map[dataset.Simulator]*SimAssets
+}
+
+// Build generates the campaigns and trains all monitors. It is the expensive
+// step every experiment shares; use Shared for a process-wide cache.
+func Build(cfg Config) (*Assets, error) {
+	a := &Assets{Config: cfg, Sims: make(map[dataset.Simulator]*SimAssets, 2)}
+	for _, simu := range Simulators {
+		ds, err := dataset.Generate(dataset.CampaignConfig{
+			Simulator:          simu,
+			Profiles:           cfg.Profiles,
+			EpisodesPerProfile: cfg.EpisodesPerProfile,
+			Steps:              cfg.Steps,
+			Window:             cfg.Window,
+			Horizon:            cfg.Horizon,
+			BGTarget:           cfg.BGTarget,
+			Seed:               cfg.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: generate %v: %w", simu, err)
+		}
+		train, test, err := ds.Split(cfg.TrainFrac)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: split %v: %w", simu, err)
+		}
+		sa := &SimAssets{
+			Full:     ds,
+			Train:    train,
+			Test:     test,
+			Monitors: map[string]monitor.Monitor{"rule_based": monitor.NewRuleBased(cfg.BGTarget)},
+		}
+		for _, spec := range []struct {
+			name     string
+			arch     monitor.Arch
+			semantic bool
+		}{
+			{"mlp", monitor.ArchMLP, false},
+			{"mlp_custom", monitor.ArchMLP, true},
+			{"lstm", monitor.ArchLSTM, false},
+			{"lstm_custom", monitor.ArchLSTM, true},
+		} {
+			h1, h2 := cfg.MLPHidden1, cfg.MLPHidden2
+			if spec.arch == monitor.ArchLSTM {
+				h1, h2 = cfg.LSTMHidden1, cfg.LSTMHidden2
+			}
+			m, err := monitor.Train(train, monitor.TrainConfig{
+				Arch:           spec.arch,
+				Semantic:       spec.semantic,
+				SemanticWeight: cfg.SemanticWeight,
+				Epochs:         cfg.Epochs,
+				Hidden1:        h1,
+				Hidden2:        h2,
+				Seed:           cfg.Seed + 17,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: train %s on %v: %w", spec.name, simu, err)
+			}
+			sa.Monitors[spec.name] = m
+		}
+		a.Sims[simu] = sa
+	}
+	return a, nil
+}
+
+var (
+	sharedMu sync.Mutex
+	shared   = map[string]*Assets{}
+)
+
+// Shared returns process-cached assets for cfg, building them on first use.
+// Experiments and benchmarks share one build per configuration.
+func Shared(cfg Config) (*Assets, error) {
+	key := cfg.String()
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if a, ok := shared[key]; ok {
+		return a, nil
+	}
+	a, err := Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	shared[key] = a
+	return a, nil
+}

@@ -1,0 +1,98 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section from scratch: it runs the simulation campaigns, trains
+// the five monitors per simulator, applies the Gaussian/FGSM/black-box
+// perturbations and renders the same rows and series the paper reports.
+package experiments
+
+import "fmt"
+
+// Config sizes an experiment run. The paper's campaigns are 8,800
+// simulations per simulator on a testbed; the presets below trade scale for
+// laptop-runnable times while preserving the result shapes.
+type Config struct {
+	// Campaign.
+	Profiles           int
+	EpisodesPerProfile int
+	Steps              int
+	Window             int
+	Horizon            int
+	BGTarget           float64
+
+	// Training.
+	Epochs         int
+	SemanticWeight float64
+	MLPHidden1     int
+	MLPHidden2     int
+	LSTMHidden1    int
+	LSTMHidden2    int
+
+	// Evaluation.
+	ToleranceDelta int // δ of the Table II confusion matrix
+	TrainFrac      float64
+
+	Seed int64
+}
+
+func (c Config) String() string {
+	return fmt.Sprintf("profiles=%d eps=%d steps=%d epochs=%d mlp=%d-%d lstm=%d-%d seed=%d",
+		c.Profiles, c.EpisodesPerProfile, c.Steps, c.Epochs,
+		c.MLPHidden1, c.MLPHidden2, c.LSTMHidden1, c.LSTMHidden2, c.Seed)
+}
+
+// Default is the standard laptop-scale preset: all 20 patient profiles, with
+// monitor widths halved from the paper's (the paper's 256-128 MLP and
+// 128-64 LSTM are available via Paper()).
+func Default() Config {
+	return Config{
+		Profiles:           10,
+		EpisodesPerProfile: 4,
+		Steps:              150,
+		Window:             6,
+		Horizon:            12,
+		BGTarget:           140,
+		Epochs:             15,
+		SemanticWeight:     1.5,
+		MLPHidden1:         128,
+		MLPHidden2:         64,
+		LSTMHidden1:        64,
+		LSTMHidden2:        32,
+		ToleranceDelta:     12,
+		TrainFrac:          0.75,
+		Seed:               1,
+	}
+}
+
+// Paper uses the paper's architecture sizes and all 20 profiles. Slow on a
+// single core; intended for the cmd/apsexperiments -paper runs.
+func Paper() Config {
+	c := Default()
+	c.Profiles = 20
+	c.EpisodesPerProfile = 6
+	c.Steps = 200
+	c.MLPHidden1, c.MLPHidden2 = 256, 128
+	c.LSTMHidden1, c.LSTMHidden2 = 128, 64
+	c.Epochs = 20
+	return c
+}
+
+// Bench is the reduced preset used by the go test benchmarks so the whole
+// suite regenerates in minutes.
+func Bench() Config {
+	c := Default()
+	c.Profiles = 4
+	c.EpisodesPerProfile = 2
+	c.Steps = 100
+	c.Epochs = 8
+	c.MLPHidden1, c.MLPHidden2 = 48, 24
+	c.LSTMHidden1, c.LSTMHidden2 = 24, 12
+	return c
+}
+
+// Noise and attack sweeps from the paper's figures.
+var (
+	// GaussianLevels are the σ multiples of the data standard deviation in
+	// Figs 5, 6 and 9.
+	GaussianLevels = []float64{0.1, 0.25, 0.5, 0.75, 1.0}
+	// FGSMLevels are the ε budgets of Figs 8, 9 and 10.
+	FGSMLevels = []float64{0.01, 0.05, 0.1, 0.15, 0.2}
+)

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/attack"
+	"repro/internal/dataset"
+	"repro/internal/mat"
+	"repro/internal/metrics"
+	"repro/internal/monitor"
+)
+
+// Perturbation transforms a monitor's assembled (normalized) input matrix.
+type Perturbation func(x *mat.Matrix) (*mat.Matrix, error)
+
+// NoPerturbation passes inputs through unchanged.
+func NoPerturbation(x *mat.Matrix) (*mat.Matrix, error) { return x, nil }
+
+// GaussianPerturbation adds σ-scaled sensor noise directly in the monitor's
+// normalized input space (§III: noise applies to sensor data only). The
+// figure experiments instead use GaussianScore/GaussianRobustness, which
+// perturb the raw sensor stream and recompute derived features; this
+// matrix-space variant is kept for ablations.
+func GaussianPerturbation(m *monitor.MLMonitor, window int, sigma float64, seed int64) Perturbation {
+	dims := dataset.SensorDimsMLP()
+	if m.Arch() == monitor.ArchLSTM {
+		dims = dataset.SensorDimsSeq(window)
+	}
+	return func(x *mat.Matrix) (*mat.Matrix, error) {
+		rng := rand.New(rand.NewSource(seed))
+		return attack.Gaussian(rng, x, dims, sigma)
+	}
+}
+
+// GaussianScore evaluates a monitor on raw-window-noised samples (σ in
+// multiples of each sensor signal's std) with the tolerance-window metric.
+func GaussianScore(m monitor.Monitor, test *dataset.Dataset, sigma float64, seed int64, delta int) (metrics.Confusion, error) {
+	rng := rand.New(rand.NewSource(seed))
+	noisy, err := dataset.GaussianNoisySamples(rng, test, sigma)
+	if err != nil {
+		return metrics.Confusion{}, err
+	}
+	verdicts, err := m.Classify(noisy)
+	if err != nil {
+		return metrics.Confusion{}, err
+	}
+	pred := make([]int, len(verdicts))
+	for i, v := range verdicts {
+		if v.Unsafe {
+			pred[i] = 1
+		}
+	}
+	return ScoreEpisodes(pred, test, delta)
+}
+
+// GaussianRobustness computes Eq (5) for an ML monitor under raw-window
+// Gaussian noise.
+func GaussianRobustness(m *monitor.MLMonitor, test *dataset.Dataset, sigma float64, seed int64) (float64, error) {
+	rng := rand.New(rand.NewSource(seed))
+	noisy, err := dataset.GaussianNoisySamples(rng, test, sigma)
+	if err != nil {
+		return 0, err
+	}
+	xc, err := m.InputMatrix(test.Samples)
+	if err != nil {
+		return 0, err
+	}
+	orig, err := m.PredictClasses(xc)
+	if err != nil {
+		return 0, err
+	}
+	xn, err := m.InputMatrix(noisy)
+	if err != nil {
+		return 0, err
+	}
+	pert, err := m.PredictClasses(xn)
+	if err != nil {
+		return 0, err
+	}
+	return metrics.RobustnessError(orig, pert)
+}
+
+// FGSMPerturbation crafts white-box adversarial inputs against the monitor's
+// own model using the true labels (Eqs 3-4).
+func FGSMPerturbation(m *monitor.MLMonitor, labels []int, eps float64) Perturbation {
+	return func(x *mat.Matrix) (*mat.Matrix, error) {
+		return attack.FGSM(m.Model(), x, labels, eps)
+	}
+}
+
+// Predictions runs a monitor over the test set with an optional input
+// perturbation and returns per-sample 0/1 predictions. The rule-based
+// monitor only supports NoPerturbation (it has no gradient and reads the
+// un-normalized context).
+func Predictions(m monitor.Monitor, test *dataset.Dataset, perturb Perturbation) ([]int, error) {
+	if perturb == nil {
+		perturb = NoPerturbation
+	}
+	if ml, ok := m.(*monitor.MLMonitor); ok {
+		x, err := ml.InputMatrix(test.Samples)
+		if err != nil {
+			return nil, err
+		}
+		px, err := perturb(x)
+		if err != nil {
+			return nil, err
+		}
+		return ml.PredictClasses(px)
+	}
+	verdicts, err := m.Classify(test.Samples)
+	if err != nil {
+		return nil, err
+	}
+	pred := make([]int, len(verdicts))
+	for i, v := range verdicts {
+		if v.Unsafe {
+			pred[i] = 1
+		}
+	}
+	return pred, nil
+}
+
+// ScoreEpisodes computes the tolerance-window confusion matrix (Table II)
+// of per-sample predictions against hazard occurrences, episode by episode.
+func ScoreEpisodes(pred []int, test *dataset.Dataset, delta int) (metrics.Confusion, error) {
+	var total metrics.Confusion
+	if len(pred) != test.Len() {
+		return total, fmt.Errorf("experiments: %d predictions for %d samples", len(pred), test.Len())
+	}
+	for _, r := range test.EpisodeIndex {
+		truth := make([]int, r[1]-r[0])
+		for i := r[0]; i < r[1]; i++ {
+			if test.Samples[i].HazardNow {
+				truth[i-r[0]] = 1
+			}
+		}
+		c, err := metrics.ToleranceWindow(pred[r[0]:r[1]], truth, delta)
+		if err != nil {
+			return total, err
+		}
+		total.Add(c)
+	}
+	return total, nil
+}
+
+// Score evaluates a monitor on the test set under a perturbation and returns
+// the tolerance-window confusion matrix.
+func Score(m monitor.Monitor, test *dataset.Dataset, delta int, perturb Perturbation) (metrics.Confusion, error) {
+	pred, err := Predictions(m, test, perturb)
+	if err != nil {
+		return metrics.Confusion{}, err
+	}
+	return ScoreEpisodes(pred, test, delta)
+}
+
+// RobustnessError evaluates Eq (5) for an ML monitor under a perturbation:
+// the fraction of test samples whose predicted class flips.
+func RobustnessError(m *monitor.MLMonitor, test *dataset.Dataset, perturb Perturbation) (float64, error) {
+	x, err := m.InputMatrix(test.Samples)
+	if err != nil {
+		return 0, err
+	}
+	orig, err := m.PredictClasses(x)
+	if err != nil {
+		return 0, err
+	}
+	px, err := perturb(x)
+	if err != nil {
+		return 0, err
+	}
+	pert, err := m.PredictClasses(px)
+	if err != nil {
+		return 0, err
+	}
+	return metrics.RobustnessError(orig, pert)
+}

@@ -1,0 +1,361 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// benchAssets builds (once) the shared bench-scale assets for all tests in
+// this package.
+func benchAssets(t *testing.T) *Assets {
+	t.Helper()
+	a, err := Shared(Bench())
+	if err != nil {
+		t.Fatalf("Shared(Bench()): %v", err)
+	}
+	return a
+}
+
+func TestBuildAssetsShapes(t *testing.T) {
+	a := benchAssets(t)
+	for _, simu := range Simulators {
+		sa := a.Sims[simu]
+		if sa == nil {
+			t.Fatalf("no assets for %v", simu)
+		}
+		for _, name := range MonitorNames {
+			if sa.Monitors[name] == nil {
+				t.Fatalf("missing monitor %s for %v", name, simu)
+			}
+		}
+		if sa.Train.Len() == 0 || sa.Test.Len() == 0 {
+			t.Fatalf("empty split for %v", simu)
+		}
+		frac := sa.Full.UnsafeFraction()
+		if frac < 0.1 || frac > 0.6 {
+			t.Fatalf("%v unsafe fraction %v outside plausible band", simu, frac)
+		}
+	}
+}
+
+func TestSharedCachesAssets(t *testing.T) {
+	a1 := benchAssets(t)
+	a2 := benchAssets(t)
+	if a1 != a2 {
+		t.Fatal("Shared must return the cached instance")
+	}
+}
+
+func TestTable3ShapeClaims(t *testing.T) {
+	a := benchAssets(t)
+	res, err := Table3(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("rows = %d, want 10 (5 monitors × 2 simulators)", len(res.Rows))
+	}
+	// Scale-stable Table III shape: every monitor reaches a usable operating
+	// point on clean inputs. (The ML-beats-rules margin is a default-scale
+	// property recorded in EXPERIMENTS.md; the reduced bench-scale networks
+	// underfit relative to it.)
+	for _, simu := range Simulators {
+		if _, ok := res.Row(simu, "rule_based"); !ok {
+			t.Fatal("missing rule_based row")
+		}
+		for _, name := range MLMonitorNames {
+			ml, ok := res.Row(simu, name)
+			if !ok {
+				t.Fatalf("missing %s row", name)
+			}
+			if ml.Accuracy < 0.75 {
+				t.Errorf("%v: %s accuracy %.3f implausibly low", simu, name, ml.Accuracy)
+			}
+			if ml.F1 < 0.5 {
+				t.Errorf("%v: %s F1 %.3f implausibly low", simu, name, ml.F1)
+			}
+		}
+	}
+	// Rule-based does better on Glucosym than on T1DS (paper: 0.87 vs 0.61).
+	g, _ := res.Row(dataset.Glucosym, "rule_based")
+	t1, _ := res.Row(dataset.T1DS, "rule_based")
+	if g.Accuracy <= t1.Accuracy {
+		t.Errorf("rule-based ordering inverted: glucosym %.3f ≤ t1ds %.3f", g.Accuracy, t1.Accuracy)
+	}
+	if !strings.Contains(res.Render(), "Table III") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig5NoiseDegradesF1(t *testing.T) {
+	a := benchAssets(t)
+	res, err := Fig5(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table3, err := Table3(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, simu := range Simulators {
+		for _, name := range MLMonitorNames {
+			series := res.F1[simu.String()][name]
+			if len(series) != len(GaussianLevels) {
+				t.Fatalf("%v/%s series length %d", simu, name, len(series))
+			}
+			clean, _ := table3.Row(simu, name)
+			// At the strongest noise, F1 must not exceed clean F1 by much
+			// (noise does not make monitors better; small wiggle allowed for
+			// alarm-rate inflation, which the paper also observes).
+			if series[len(series)-1] > clean.F1+0.1 {
+				t.Errorf("%v/%s: σ=1.0 F1 %.3f far above clean %.3f", simu, name, series[len(series)-1], clean.F1)
+			}
+		}
+	}
+	if !strings.Contains(res.Render(), "Fig 5") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig8FGSMDegradesF1Monotonically(t *testing.T) {
+	a := benchAssets(t)
+	res, err := Fig8(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, simu := range Simulators {
+		for _, name := range MLMonitorNames {
+			series := res.F1[simu.String()][name]
+			// ε=0.2 must be no better than ε=0.01 (stronger attack, weaker
+			// monitor).
+			if series[len(series)-1] > series[0]+0.02 {
+				t.Errorf("%v/%s: FGSM F1 rises with ε: %v", simu, name, series)
+			}
+		}
+	}
+}
+
+func TestFig9HeadlineClaims(t *testing.T) {
+	a := benchAssets(t)
+	res, err := Fig9Both(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, hm := range []*HeatmapResult{res.Gaussian, res.FGSM} {
+		if len(hm.RowOrder) != 8 {
+			t.Fatalf("rows = %d, want 8", len(hm.RowOrder))
+		}
+		for _, row := range hm.RowOrder {
+			vals := hm.Errors[row]
+			if len(vals) != 5 {
+				t.Fatalf("row %s has %d levels", row, len(vals))
+			}
+			for _, v := range vals {
+				if v < 0 || v > 1 {
+					t.Fatalf("robustness error %v out of [0,1]", v)
+				}
+			}
+		}
+	}
+	// Headline claim: custom monitors have lower mean robustness error
+	// against FGSM than baselines. At this bench scale (48-24 / 24-12
+	// hidden units) the margin is noisy, so allow a small tolerance; the
+	// default-scale runs recorded in EXPERIMENTS.md show the full ~50%
+	// reduction.
+	isCustom := func(label string) bool { return strings.Contains(label, "Custom") }
+	isBase := func(label string) bool { return !isCustom(label) }
+	customErr := res.FGSM.MeanError(isCustom)
+	baseErr := res.FGSM.MeanError(isBase)
+	if customErr > baseErr+0.03 {
+		t.Errorf("custom monitors not more robust to FGSM: custom %.3f vs baseline %.3f", customErr, baseErr)
+	}
+}
+
+func TestFig10BlackBoxWeakerThanWhiteBox(t *testing.T) {
+	a := benchAssets(t)
+	bb, err := Fig10(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, err := Fig9FGSM(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Averaged over all models and levels, black-box transfer attacks are
+	// weaker than white-box attacks (the paper's §IV-G).
+	all := func(string) bool { return true }
+	if bbErr, wbErr := bb.MeanError(all), wb.MeanError(all); bbErr > wbErr+0.02 {
+		t.Errorf("black-box (%.3f) stronger than white-box (%.3f)", bbErr, wbErr)
+	}
+}
+
+func TestFig2FindsFlip(t *testing.T) {
+	a := benchAssets(t)
+	res, err := Fig2(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxInputChange > 0.2+1e-9 {
+		t.Fatalf("L∞ change %v exceeds ε", res.MaxInputChange)
+	}
+	if res.OrigConfidence < 0.5 || res.AdvConfidence < 0.5 {
+		t.Fatalf("confidences not argmax-consistent: %v %v", res.OrigConfidence, res.AdvConfidence)
+	}
+	if !strings.Contains(res.Render(), "UNSAFE") {
+		t.Error("render missing verdicts")
+	}
+}
+
+func TestFig3BoundariesDiffer(t *testing.T) {
+	a := benchAssets(t)
+	res, err := Fig3(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DisagreementFrac <= 0 {
+		t.Error("semantic loss should reshape the boundary at least somewhere")
+	}
+	if res.DisagreementFrac > 0.7 {
+		t.Errorf("boundaries disagree on %.0f%% of cells — monitors look unrelated", 100*res.DisagreementFrac)
+	}
+	render := res.Render()
+	if !strings.Contains(render, "#") || !strings.Contains(render, ".") {
+		t.Error("render should show both classes")
+	}
+}
+
+func TestFig4HistogramsConserveMass(t *testing.T) {
+	a := benchAssets(t)
+	res, err := Fig4(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, simu := range Simulators {
+		n := a.Sims[simu].Test.Len()
+		var sumO, sumN int
+		for _, c := range res.Original[simu.String()] {
+			sumO += c
+		}
+		for _, c := range res.Noisy[simu.String()] {
+			sumN += c
+		}
+		if sumO != n || sumN != n {
+			t.Errorf("%v histogram mass %d/%d, want %d", simu, sumO, sumN, n)
+		}
+	}
+}
+
+func TestFig7PerturbationScale(t *testing.T) {
+	a := benchAssets(t)
+	res, err := Fig7(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"mlp", "lstm"} {
+		if len(res.BGOriginal[name]) == 0 {
+			t.Fatalf("no %s series", name)
+		}
+		// ε=0.2 in normalized space must translate to a BG change ≤ 0.2 BG
+		// stds everywhere.
+		for i := range res.BGOriginal[name] {
+			d := res.BGAdv[name][i] - res.BGOriginal[name][i]
+			if d < -100 || d > 100 {
+				t.Fatalf("BG perturbation %v mg/dL implausible", d)
+			}
+		}
+	}
+}
+
+func TestFig1bAlertsPrecedeHazards(t *testing.T) {
+	a := benchAssets(t)
+	res, err := Fig1b(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) == 0 {
+		t.Fatal("empty trace")
+	}
+	hazards := 0
+	for _, s := range res.Steps {
+		if s.Hazard {
+			hazards++
+		}
+	}
+	if hazards == 0 {
+		t.Fatal("faulty episode produced no hazards")
+	}
+	if res.LeadSteps < 0 {
+		t.Errorf("monitor alerted %d steps late", -res.LeadSteps)
+	}
+}
+
+func TestRunnerRegistry(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != len(Registry) {
+		t.Fatalf("ids %d != registry %d", len(ids), len(Registry))
+	}
+	if ids[0] != "table3" {
+		t.Fatalf("first experiment %q, want table3", ids[0])
+	}
+	a := benchAssets(t)
+	var sb strings.Builder
+	if err := Run("table3", a, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Table III") {
+		t.Error("Run output missing content")
+	}
+	if err := Run("nope", a, &sb); err == nil {
+		t.Error("want error for unknown experiment")
+	}
+}
+
+func TestScoreEpisodesValidation(t *testing.T) {
+	a := benchAssets(t)
+	test := a.Sims[dataset.Glucosym].Test
+	if _, err := ScoreEpisodes(make([]int, 3), test, 6); err == nil {
+		t.Error("want error for prediction length mismatch")
+	}
+}
+
+func TestGaussianRobustnessZeroSigmaIsZero(t *testing.T) {
+	a := benchAssets(t)
+	m, err := a.Sims[dataset.Glucosym].MLMonitor("mlp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := GaussianRobustness(m, a.Sims[dataset.Glucosym].Test, 0, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re != 0 {
+		t.Fatalf("σ=0 robustness error = %v, want 0", re)
+	}
+}
+
+func TestEvasionConfirmsPaperPremise(t *testing.T) {
+	a := benchAssets(t)
+	res, err := Evasion(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §III premise: perturbations at the studied magnitudes slip past CUSUM
+	// change detection on both simulators.
+	for _, simu := range Simulators {
+		for li, rate := range res.Gaussian[simu.String()] {
+			if rate < 0.9 {
+				t.Errorf("%v Gaussian σ=%v evasion %v, want ≥ 0.9", simu, GaussianLevels[li], rate)
+			}
+		}
+		for li, rate := range res.FGSM[simu.String()] {
+			if rate < 0.9 {
+				t.Errorf("%v FGSM ε=%v evasion %v, want ≥ 0.9", simu, FGSMLevels[li], rate)
+			}
+		}
+	}
+	if !strings.Contains(res.Render(), "CUSUM") {
+		t.Error("render missing title")
+	}
+}

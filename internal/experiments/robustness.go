@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/attack"
+)
+
+// HeatmapResult is a robustness-error heatmap: one row per
+// monitor×simulator, one column per perturbation level (Figs 9 and 10).
+type HeatmapResult struct {
+	Title  string
+	Prefix string // level label prefix ("σ" or "ε")
+	Levels []float64
+	// Errors[rowLabel] aligns with Levels.
+	Errors map[string][]float64
+	// RowOrder preserves the paper's row ordering.
+	RowOrder []string
+}
+
+// rowLabel builds the paper's row naming, e.g. "MLP-Custom-Glucosym".
+func rowLabel(monitorName, simName string) string {
+	pretty := map[string]string{
+		"mlp": "MLP", "mlp_custom": "MLP-Custom",
+		"lstm": "LSTM", "lstm_custom": "LSTM-Custom",
+	}
+	sim := map[string]string{"glucosym": "Glucosym", "t1ds": "T1DS2013"}
+	return pretty[monitorName] + "-" + sim[simName]
+}
+
+// heatmapRowOrder mirrors Fig. 9: MLP rows, then MLP-Custom, LSTM,
+// LSTM-Custom, each for both simulators.
+func heatmapRowOrder() []string {
+	var rows []string
+	for _, mn := range []string{"mlp", "mlp_custom", "lstm", "lstm_custom"} {
+		for _, simu := range Simulators {
+			rows = append(rows, rowLabel(mn, simu.String()))
+		}
+	}
+	return rows
+}
+
+// Fig9Gaussian computes the robustness-error heatmap against Gaussian noise
+// (left heatmap of Fig. 9).
+func Fig9Gaussian(a *Assets) (*HeatmapResult, error) {
+	res := &HeatmapResult{
+		Title:    "Robustness Error of ML Monitors Against Gaussian Noise (0 ± std·σ)",
+		Prefix:   "σ",
+		Levels:   GaussianLevels,
+		Errors:   map[string][]float64{},
+		RowOrder: heatmapRowOrder(),
+	}
+	for _, simu := range Simulators {
+		sa := a.Sims[simu]
+		for _, name := range MLMonitorNames {
+			m, err := sa.MLMonitor(name)
+			if err != nil {
+				return nil, err
+			}
+			row := make([]float64, 0, len(GaussianLevels))
+			for li, sigma := range GaussianLevels {
+				re, err := GaussianRobustness(m, sa.Test, sigma, a.Config.Seed+int64(li)*43)
+				if err != nil {
+					return nil, fmt.Errorf("fig9 gaussian: %s on %v: %w", name, simu, err)
+				}
+				row = append(row, re)
+			}
+			res.Errors[rowLabel(name, simu.String())] = row
+		}
+	}
+	return res, nil
+}
+
+// Fig9FGSM computes the robustness-error heatmap against white-box FGSM
+// (right heatmap of Fig. 9).
+func Fig9FGSM(a *Assets) (*HeatmapResult, error) {
+	res := &HeatmapResult{
+		Title:    "Robustness Error of ML Monitors Against White-box FGSM Attacks",
+		Prefix:   "ε",
+		Levels:   FGSMLevels,
+		Errors:   map[string][]float64{},
+		RowOrder: heatmapRowOrder(),
+	}
+	for _, simu := range Simulators {
+		sa := a.Sims[simu]
+		labels := sa.Test.Labels()
+		for _, name := range MLMonitorNames {
+			m, err := sa.MLMonitor(name)
+			if err != nil {
+				return nil, err
+			}
+			row := make([]float64, 0, len(FGSMLevels))
+			for _, eps := range FGSMLevels {
+				re, err := RobustnessError(m, sa.Test, FGSMPerturbation(m, labels, eps))
+				if err != nil {
+					return nil, fmt.Errorf("fig9 fgsm: %s on %v: %w", name, simu, err)
+				}
+				row = append(row, re)
+			}
+			res.Errors[rowLabel(name, simu.String())] = row
+		}
+	}
+	return res, nil
+}
+
+// blackBoxQueryBudget caps how many monitor queries the black-box attacker
+// may issue to train its substitute.
+const blackBoxQueryBudget = 600
+
+// Fig10 computes the robustness-error heatmap against black-box FGSM
+// attacks crafted on a substitute model trained from target queries.
+func Fig10(a *Assets) (*HeatmapResult, error) {
+	res := &HeatmapResult{
+		Title:    "Robustness Error of ML Monitors Against Black-box Attacks",
+		Prefix:   "ε",
+		Levels:   FGSMLevels,
+		Errors:   map[string][]float64{},
+		RowOrder: heatmapRowOrder(),
+	}
+	for _, simu := range Simulators {
+		sa := a.Sims[simu]
+		for _, name := range MLMonitorNames {
+			m, err := sa.MLMonitor(name)
+			if err != nil {
+				return nil, err
+			}
+			// The attacker queries the target and fits the substitute to the
+			// responses. The query budget is limited — a realistic black-box
+			// constraint, and the reason transfer attacks are weaker than
+			// white-box ones (§IV-G).
+			qx, err := m.InputMatrix(sa.Train.Samples)
+			if err != nil {
+				return nil, err
+			}
+			if qx.Rows() > blackBoxQueryBudget {
+				qx, err = qx.SliceRows(0, blackBoxQueryBudget)
+				if err != nil {
+					return nil, err
+				}
+			}
+			qPred, err := m.PredictClasses(qx)
+			if err != nil {
+				return nil, err
+			}
+			sub, err := attack.TrainSubstitute(qx, qPred, attack.SubstituteConfig{
+				Epochs: a.Config.Epochs,
+				Seed:   a.Config.Seed + 59,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig10: substitute for %s on %v: %w", name, simu, err)
+			}
+			// Perturbations crafted on the substitute using the target's
+			// (observed) predictions as labels, then transferred.
+			tx, err := m.InputMatrix(sa.Test.Samples)
+			if err != nil {
+				return nil, err
+			}
+			tPred, err := m.PredictClasses(tx)
+			if err != nil {
+				return nil, err
+			}
+			row := make([]float64, 0, len(FGSMLevels))
+			for _, eps := range FGSMLevels {
+				adv, err := attack.BlackBoxFGSM(sub, tx, tPred, eps)
+				if err != nil {
+					return nil, err
+				}
+				advPred, err := m.PredictClasses(adv)
+				if err != nil {
+					return nil, err
+				}
+				re, err := robustnessErr(tPred, advPred)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, re)
+			}
+			res.Errors[rowLabel(name, simu.String())] = row
+		}
+	}
+	return res, nil
+}
+
+func robustnessErr(orig, pert []int) (float64, error) {
+	if len(orig) != len(pert) {
+		return 0, fmt.Errorf("experiments: prediction length mismatch")
+	}
+	flipped := 0
+	for i := range orig {
+		if orig[i] != pert[i] {
+			flipped++
+		}
+	}
+	if len(orig) == 0 {
+		return 0, nil
+	}
+	return float64(flipped) / float64(len(orig)), nil
+}
+
+// Render formats the heatmap like Fig. 9/10.
+func (r *HeatmapResult) Render() string {
+	var sb strings.Builder
+	sb.WriteString(r.Title + "\n")
+	t := &table{header: append([]string{"Model"}, levelsHeader(r.Prefix, r.Levels)...)}
+	for _, row := range r.RowOrder {
+		cells := []string{row}
+		for _, v := range r.Errors[row] {
+			cells = append(cells, f2(v))
+		}
+		t.addRow(cells...)
+	}
+	sb.WriteString(t.String())
+	return sb.String()
+}
+
+// MeanError averages a row group (e.g. all Custom rows) for the headline
+// reduction claims.
+func (r *HeatmapResult) MeanError(filter func(rowLabel string) bool) float64 {
+	var sum float64
+	var n int
+	for label, row := range r.Errors {
+		if !filter(label) {
+			continue
+		}
+		for _, v := range row {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dataset"
+)
+
+// Table3Row is one line of Table III: a monitor's clean-input performance on
+// one simulator.
+type Table3Row struct {
+	Simulator  string
+	Monitor    string
+	Episodes   int
+	Samples    int
+	Accuracy   float64
+	F1         float64
+	Precision  float64
+	Recall     float64
+	UnsafeFrac float64
+}
+
+// Table3Result reproduces Table III: overall performance of each monitor
+// without perturbations.
+type Table3Result struct {
+	Rows []Table3Row
+}
+
+// Table3 evaluates all five monitors on both simulators with clean inputs.
+func Table3(a *Assets) (*Table3Result, error) {
+	res := &Table3Result{}
+	for _, simu := range Simulators {
+		sa := a.Sims[simu]
+		for _, name := range MonitorNames {
+			m := sa.Monitors[name]
+			c, err := Score(m, sa.Test, a.Config.ToleranceDelta, nil)
+			if err != nil {
+				return nil, fmt.Errorf("table3: %s on %v: %w", name, simu, err)
+			}
+			res.Rows = append(res.Rows, Table3Row{
+				Simulator:  simu.String(),
+				Monitor:    name,
+				Episodes:   len(sa.Full.EpisodeIndex),
+				Samples:    sa.Full.Len(),
+				Accuracy:   c.Accuracy(),
+				F1:         c.F1(),
+				Precision:  c.Precision(),
+				Recall:     c.Recall(),
+				UnsafeFrac: sa.Test.UnsafeFraction(),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Render formats the result like Table III.
+func (r *Table3Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Table III: Overall Performance of Each Monitor without Noises\n")
+	t := &table{header: []string{"Simulator", "Model", "No.Sim", "No.Sample", "ACC", "F1", "P", "R"}}
+	for _, row := range r.Rows {
+		t.addRow(row.Simulator, row.Monitor,
+			fmt.Sprintf("%d", row.Episodes), fmt.Sprintf("%d", row.Samples),
+			f2(row.Accuracy), f2(row.F1), f2(row.Precision), f2(row.Recall))
+	}
+	sb.WriteString(t.String())
+	return sb.String()
+}
+
+// Row returns the row for a simulator/monitor pair.
+func (r *Table3Result) Row(simu dataset.Simulator, monitorName string) (Table3Row, bool) {
+	for _, row := range r.Rows {
+		if row.Simulator == simu.String() && row.Monitor == monitorName {
+			return row, true
+		}
+	}
+	return Table3Row{}, false
+}

@@ -1,0 +1,432 @@
+// Package mat implements the small dense-matrix kernel used by the neural
+// network substrate. Matrices are row-major float64 with no external
+// dependencies. The API favours explicit destination-free operations that
+// return fresh matrices, plus a handful of in-place variants on the hot path
+// (training loops) to limit allocation.
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrShape is returned (wrapped) by operations whose operand shapes do not
+// conform.
+var ErrShape = errors.New("mat: shape mismatch")
+
+// Matrix is a dense, row-major matrix of float64.
+//
+// The zero value is an empty 0x0 matrix ready for use with Reset/Resize.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// New returns a zeroed rows×cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		rows, cols = 0, 0
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// FromSlice builds a rows×cols matrix backed by a copy of data (row-major).
+func FromSlice(rows, cols int, data []float64) (*Matrix, error) {
+	if len(data) != rows*cols {
+		return nil, fmt.Errorf("%w: %d values for %dx%d", ErrShape, len(data), rows, cols)
+	}
+	m := New(rows, cols)
+	copy(m.data, data)
+	return m, nil
+}
+
+// FromRows builds a matrix from a slice of equal-length rows.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 {
+		return New(0, 0), nil
+	}
+	c := len(rows[0])
+	m := New(len(rows), c)
+	for i, r := range rows {
+		if len(r) != c {
+			return nil, fmt.Errorf("%w: row %d has %d values, want %d", ErrShape, i, len(r), c)
+		}
+		copy(m.data[i*c:(i+1)*c], r)
+	}
+	return m, nil
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// Len returns the total number of elements.
+func (m *Matrix) Len() int { return len(m.data) }
+
+// At returns the element at (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns the element at (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Add adds v to the element at (i, j).
+func (m *Matrix) Add(i, j int, v float64) { m.data[i*m.cols+j] += v }
+
+// Data exposes the backing slice (row-major). Mutations are visible to the
+// matrix; callers that need isolation should Clone first.
+func (m *Matrix) Data() []float64 { return m.data }
+
+// Row returns row i as a view into the backing slice.
+func (m *Matrix) Row(i int) []float64 { return m.data[i*m.cols : (i+1)*m.cols] }
+
+// SetRow copies r into row i.
+func (m *Matrix) SetRow(i int, r []float64) error {
+	if len(r) != m.cols {
+		return fmt.Errorf("%w: SetRow got %d values, want %d", ErrShape, len(r), m.cols)
+	}
+	copy(m.Row(i), r)
+	return nil
+}
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) []float64 {
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.data[i*m.cols+j]
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// CopyFrom copies src into m; shapes must match.
+func (m *Matrix) CopyFrom(src *Matrix) error {
+	if m.rows != src.rows || m.cols != src.cols {
+		return fmt.Errorf("%w: CopyFrom %dx%d into %dx%d", ErrShape, src.rows, src.cols, m.rows, m.cols)
+	}
+	copy(m.data, src.data)
+	return nil
+}
+
+// Zero sets every element to zero.
+func (m *Matrix) Zero() {
+	for i := range m.data {
+		m.data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.data {
+		m.data[i] = v
+	}
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	s := fmt.Sprintf("Matrix(%dx%d)[", m.rows, m.cols)
+	for i := 0; i < m.rows && i < 6; i++ {
+		if i > 0 {
+			s += "; "
+		}
+		for j := 0; j < m.cols && j < 8; j++ {
+			if j > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%.4g", m.At(i, j))
+		}
+	}
+	return s + "]"
+}
+
+// MatMul returns a × b.
+func MatMul(a, b *Matrix) (*Matrix, error) {
+	if a.cols != b.rows {
+		return nil, fmt.Errorf("%w: MatMul %dx%d × %dx%d", ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	out := New(a.rows, b.cols)
+	// ikj loop order: streams through b rows for cache friendliness.
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		orow := out.data[i*out.cols : (i+1)*out.cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out, nil
+}
+
+// MatMulT returns a × bᵀ.
+func MatMulT(a, b *Matrix) (*Matrix, error) {
+	if a.cols != b.cols {
+		return nil, fmt.Errorf("%w: MatMulT %dx%d × (%dx%d)ᵀ", ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	out := New(a.rows, b.rows)
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		for j := 0; j < b.rows; j++ {
+			brow := b.data[j*b.cols : (j+1)*b.cols]
+			var sum float64
+			for k, av := range arow {
+				sum += av * brow[k]
+			}
+			out.data[i*out.cols+j] = sum
+		}
+	}
+	return out, nil
+}
+
+// TMatMul returns aᵀ × b.
+func TMatMul(a, b *Matrix) (*Matrix, error) {
+	if a.rows != b.rows {
+		return nil, fmt.Errorf("%w: TMatMul (%dx%d)ᵀ × %dx%d", ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	out := New(a.cols, b.cols)
+	for k := 0; k < a.rows; k++ {
+		arow := a.data[k*a.cols : (k+1)*a.cols]
+		brow := b.data[k*b.cols : (k+1)*b.cols]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.data[i*out.cols : (i+1)*out.cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out, nil
+}
+
+// Transpose returns mᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	out := New(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			out.data[j*out.cols+i] = m.data[i*m.cols+j]
+		}
+	}
+	return out
+}
+
+// AddM returns a + b.
+func AddM(a, b *Matrix) (*Matrix, error) {
+	if a.rows != b.rows || a.cols != b.cols {
+		return nil, fmt.Errorf("%w: AddM %dx%d + %dx%d", ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	out := a.Clone()
+	for i, v := range b.data {
+		out.data[i] += v
+	}
+	return out, nil
+}
+
+// SubM returns a − b.
+func SubM(a, b *Matrix) (*Matrix, error) {
+	if a.rows != b.rows || a.cols != b.cols {
+		return nil, fmt.Errorf("%w: SubM %dx%d - %dx%d", ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	out := a.Clone()
+	for i, v := range b.data {
+		out.data[i] -= v
+	}
+	return out, nil
+}
+
+// AddInPlace adds b into m.
+func (m *Matrix) AddInPlace(b *Matrix) error {
+	if m.rows != b.rows || m.cols != b.cols {
+		return fmt.Errorf("%w: AddInPlace %dx%d += %dx%d", ErrShape, m.rows, m.cols, b.rows, b.cols)
+	}
+	for i, v := range b.data {
+		m.data[i] += v
+	}
+	return nil
+}
+
+// AddScaled adds s·b into m (axpy).
+func (m *Matrix) AddScaled(s float64, b *Matrix) error {
+	if m.rows != b.rows || m.cols != b.cols {
+		return fmt.Errorf("%w: AddScaled %dx%d += s*%dx%d", ErrShape, m.rows, m.cols, b.rows, b.cols)
+	}
+	for i, v := range b.data {
+		m.data[i] += s * v
+	}
+	return nil
+}
+
+// Scale multiplies every element by s in place.
+func (m *Matrix) Scale(s float64) {
+	for i := range m.data {
+		m.data[i] *= s
+	}
+}
+
+// Hadamard returns the elementwise product a ⊙ b.
+func Hadamard(a, b *Matrix) (*Matrix, error) {
+	if a.rows != b.rows || a.cols != b.cols {
+		return nil, fmt.Errorf("%w: Hadamard %dx%d ⊙ %dx%d", ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	out := a.Clone()
+	for i, v := range b.data {
+		out.data[i] *= v
+	}
+	return out, nil
+}
+
+// Apply returns a new matrix with f applied elementwise.
+func (m *Matrix) Apply(f func(float64) float64) *Matrix {
+	out := New(m.rows, m.cols)
+	for i, v := range m.data {
+		out.data[i] = f(v)
+	}
+	return out
+}
+
+// ApplyInPlace applies f elementwise in place.
+func (m *Matrix) ApplyInPlace(f func(float64) float64) {
+	for i, v := range m.data {
+		m.data[i] = f(v)
+	}
+}
+
+// AddRowVector adds a 1×cols row vector to every row of m, in place.
+func (m *Matrix) AddRowVector(v *Matrix) error {
+	if v.rows != 1 || v.cols != m.cols {
+		return fmt.Errorf("%w: AddRowVector %dx%d += %dx%d", ErrShape, m.rows, m.cols, v.rows, v.cols)
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j, b := range v.data {
+			row[j] += b
+		}
+	}
+	return nil
+}
+
+// SumRows returns the 1×cols column-sum of m (the gradient reduction used for
+// bias terms).
+func (m *Matrix) SumRows() *Matrix {
+	out := New(1, m.cols)
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.data[j] += v
+		}
+	}
+	return out
+}
+
+// Sum returns the sum of all elements.
+func (m *Matrix) Sum() float64 {
+	var s float64
+	for _, v := range m.data {
+		s += v
+	}
+	return s
+}
+
+// MaxAbs returns the maximum absolute element value (0 for empty matrices).
+func (m *Matrix) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// Norm2 returns the Frobenius norm.
+func (m *Matrix) Norm2() float64 {
+	var s float64
+	for _, v := range m.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Equal reports whether a and b have identical shape and elements within tol.
+func Equal(a, b *Matrix, tol float64) bool {
+	if a.rows != b.rows || a.cols != b.cols {
+		return false
+	}
+	for i, v := range a.data {
+		if math.Abs(v-b.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// SliceRows returns a copy of rows [from, to).
+func (m *Matrix) SliceRows(from, to int) (*Matrix, error) {
+	if from < 0 || to > m.rows || from > to {
+		return nil, fmt.Errorf("%w: SliceRows [%d,%d) of %d rows", ErrShape, from, to, m.rows)
+	}
+	out := New(to-from, m.cols)
+	copy(out.data, m.data[from*m.cols:to*m.cols])
+	return out, nil
+}
+
+// SliceCols returns a copy of columns [from, to).
+func (m *Matrix) SliceCols(from, to int) (*Matrix, error) {
+	if from < 0 || to > m.cols || from > to {
+		return nil, fmt.Errorf("%w: SliceCols [%d,%d) of %d cols", ErrShape, from, to, m.cols)
+	}
+	out := New(m.rows, to-from)
+	for i := 0; i < m.rows; i++ {
+		copy(out.Row(i), m.Row(i)[from:to])
+	}
+	return out, nil
+}
+
+// SetCols copies src into columns [from, from+src.Cols()) of m.
+func (m *Matrix) SetCols(from int, src *Matrix) error {
+	if src.rows != m.rows || from < 0 || from+src.cols > m.cols {
+		return fmt.Errorf("%w: SetCols at %d with %dx%d into %dx%d", ErrShape, from, src.rows, src.cols, m.rows, m.cols)
+	}
+	for i := 0; i < m.rows; i++ {
+		copy(m.Row(i)[from:from+src.cols], src.Row(i))
+	}
+	return nil
+}
+
+// ConcatCols concatenates a and b side by side.
+func ConcatCols(a, b *Matrix) (*Matrix, error) {
+	if a.rows != b.rows {
+		return nil, fmt.Errorf("%w: ConcatCols %dx%d | %dx%d", ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	out := New(a.rows, a.cols+b.cols)
+	for i := 0; i < a.rows; i++ {
+		copy(out.Row(i)[:a.cols], a.Row(i))
+		copy(out.Row(i)[a.cols:], b.Row(i))
+	}
+	return out, nil
+}
+
+// ArgmaxRow returns the index of the maximum element of row i.
+func (m *Matrix) ArgmaxRow(i int) int {
+	row := m.Row(i)
+	best, bi := math.Inf(-1), 0
+	for j, v := range row {
+		if v > best {
+			best, bi = v, j
+		}
+	}
+	return bi
+}

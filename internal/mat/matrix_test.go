@@ -1,0 +1,386 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustFromSlice(t *testing.T, rows, cols int, data []float64) *Matrix {
+	t.Helper()
+	m, err := FromSlice(rows, cols, data)
+	if err != nil {
+		t.Fatalf("FromSlice: %v", err)
+	}
+	return m
+}
+
+func TestNewZeroed(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows() != 3 || m.Cols() != 4 || m.Len() != 12 {
+		t.Fatalf("shape = %dx%d len %d, want 3x4 len 12", m.Rows(), m.Cols(), m.Len())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("At(%d,%d) = %v, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestNewNegativeDims(t *testing.T) {
+	m := New(-1, 5)
+	if m.Rows() != 0 || m.Cols() != 0 {
+		t.Fatalf("negative dims should produce empty matrix, got %dx%d", m.Rows(), m.Cols())
+	}
+}
+
+func TestFromSliceShapeError(t *testing.T) {
+	if _, err := FromSlice(2, 2, []float64{1, 2, 3}); !errors.Is(err, ErrShape) {
+		t.Fatalf("err = %v, want ErrShape", err)
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatalf("FromRows: %v", err)
+	}
+	if m.At(2, 1) != 6 || m.At(0, 0) != 1 {
+		t.Fatalf("unexpected contents: %v", m)
+	}
+	if _, err := FromRows([][]float64{{1}, {2, 3}}); !errors.Is(err, ErrShape) {
+		t.Fatalf("ragged rows should fail with ErrShape, got %v", err)
+	}
+	empty, err := FromRows(nil)
+	if err != nil || empty.Rows() != 0 {
+		t.Fatalf("FromRows(nil) = %v, %v", empty, err)
+	}
+}
+
+func TestSetAtRoundTrip(t *testing.T) {
+	m := New(2, 3)
+	m.Set(1, 2, 42)
+	m.Add(1, 2, 0.5)
+	if got := m.At(1, 2); got != 42.5 {
+		t.Fatalf("At = %v, want 42.5", got)
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := mustFromSlice(t, 2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := mustFromSlice(t, 3, 2, []float64{7, 8, 9, 10, 11, 12})
+	got, err := MatMul(a, b)
+	if err != nil {
+		t.Fatalf("MatMul: %v", err)
+	}
+	want := mustFromSlice(t, 2, 2, []float64{58, 64, 139, 154})
+	if !Equal(got, want, 1e-12) {
+		t.Fatalf("MatMul = %v, want %v", got, want)
+	}
+}
+
+func TestMatMulShapeError(t *testing.T) {
+	a, b := New(2, 3), New(2, 3)
+	if _, err := MatMul(a, b); !errors.Is(err, ErrShape) {
+		t.Fatalf("err = %v, want ErrShape", err)
+	}
+}
+
+// MatMulT(a,b) must equal MatMul(a, bᵀ), and TMatMul(a,b) must equal
+// MatMul(aᵀ, b). These identities are exercised with random matrices since
+// they are load-bearing for the backprop code.
+func TestMatMulTransposedIdentities(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 25; trial++ {
+		n, k, m := 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(6)
+		a := RandNormal(rng, n, k, 1)
+		b := RandNormal(rng, m, k, 1) // for MatMulT: a (n×k) × bᵀ (k×m)
+		gotT, err := MatMulT(a, b)
+		if err != nil {
+			t.Fatalf("MatMulT: %v", err)
+		}
+		wantT, err := MatMul(a, b.Transpose())
+		if err != nil {
+			t.Fatalf("MatMul: %v", err)
+		}
+		if !Equal(gotT, wantT, 1e-10) {
+			t.Fatalf("MatMulT mismatch at trial %d", trial)
+		}
+
+		c := RandNormal(rng, k, n, 1)
+		d := RandNormal(rng, k, m, 1) // for TMatMul: cᵀ (n×k) × d (k×m)
+		gotTM, err := TMatMul(c, d)
+		if err != nil {
+			t.Fatalf("TMatMul: %v", err)
+		}
+		wantTM, err := MatMul(c.Transpose(), d)
+		if err != nil {
+			t.Fatalf("MatMul: %v", err)
+		}
+		if !Equal(gotTM, wantTM, 1e-10) {
+			t.Fatalf("TMatMul mismatch at trial %d", trial)
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := RandNormal(rng, 1+rng.Intn(8), 1+rng.Intn(8), 2)
+		return Equal(m.Transpose().Transpose(), m, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddSubInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := RandNormal(rng, 1+rng.Intn(5), 1+rng.Intn(5), 3)
+		b := RandNormal(rng, a.Rows(), a.Cols(), 3)
+		sum, err := AddM(a, b)
+		if err != nil {
+			return false
+		}
+		back, err := SubM(sum, b)
+		if err != nil {
+			return false
+		}
+		return Equal(back, a, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHadamardCommutes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := RandNormal(rng, 1+rng.Intn(5), 1+rng.Intn(5), 2)
+		b := RandNormal(rng, a.Rows(), a.Cols(), 2)
+		ab, err1 := Hadamard(a, b)
+		ba, err2 := Hadamard(b, a)
+		return err1 == nil && err2 == nil && Equal(ab, ba, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddRowVectorAndSumRows(t *testing.T) {
+	m := mustFromSlice(t, 2, 3, []float64{1, 2, 3, 4, 5, 6})
+	v := mustFromSlice(t, 1, 3, []float64{10, 20, 30})
+	if err := m.AddRowVector(v); err != nil {
+		t.Fatalf("AddRowVector: %v", err)
+	}
+	want := mustFromSlice(t, 2, 3, []float64{11, 22, 33, 14, 25, 36})
+	if !Equal(m, want, 0) {
+		t.Fatalf("AddRowVector = %v, want %v", m, want)
+	}
+	sums := m.SumRows()
+	wantSums := mustFromSlice(t, 1, 3, []float64{25, 47, 69})
+	if !Equal(sums, wantSums, 0) {
+		t.Fatalf("SumRows = %v, want %v", sums, wantSums)
+	}
+}
+
+func TestAddRowVectorShapeError(t *testing.T) {
+	m := New(2, 3)
+	if err := m.AddRowVector(New(1, 2)); !errors.Is(err, ErrShape) {
+		t.Fatalf("err = %v, want ErrShape", err)
+	}
+	if err := m.AddRowVector(New(2, 3)); !errors.Is(err, ErrShape) {
+		t.Fatalf("err = %v, want ErrShape", err)
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	a := mustFromSlice(t, 1, 2, []float64{1, 2})
+	b := a.Clone()
+	b.Set(0, 0, 99)
+	if a.At(0, 0) != 1 {
+		t.Fatal("Clone aliases the original backing array")
+	}
+}
+
+func TestApplyAndScale(t *testing.T) {
+	m := mustFromSlice(t, 1, 3, []float64{-1, 0, 2})
+	relu := m.Apply(func(v float64) float64 { return math.Max(0, v) })
+	want := mustFromSlice(t, 1, 3, []float64{0, 0, 2})
+	if !Equal(relu, want, 0) {
+		t.Fatalf("Apply relu = %v", relu)
+	}
+	m.Scale(2)
+	want2 := mustFromSlice(t, 1, 3, []float64{-2, 0, 4})
+	if !Equal(m, want2, 0) {
+		t.Fatalf("Scale = %v", m)
+	}
+}
+
+func TestSliceRowsCols(t *testing.T) {
+	m := mustFromSlice(t, 3, 3, []float64{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	r, err := m.SliceRows(1, 3)
+	if err != nil {
+		t.Fatalf("SliceRows: %v", err)
+	}
+	wantR := mustFromSlice(t, 2, 3, []float64{4, 5, 6, 7, 8, 9})
+	if !Equal(r, wantR, 0) {
+		t.Fatalf("SliceRows = %v", r)
+	}
+	c, err := m.SliceCols(0, 2)
+	if err != nil {
+		t.Fatalf("SliceCols: %v", err)
+	}
+	wantC := mustFromSlice(t, 3, 2, []float64{1, 2, 4, 5, 7, 8})
+	if !Equal(c, wantC, 0) {
+		t.Fatalf("SliceCols = %v", c)
+	}
+	if _, err := m.SliceRows(2, 1); !errors.Is(err, ErrShape) {
+		t.Fatalf("inverted range should fail, got %v", err)
+	}
+	if _, err := m.SliceCols(-1, 2); !errors.Is(err, ErrShape) {
+		t.Fatalf("negative range should fail, got %v", err)
+	}
+}
+
+func TestSetColsRoundTrip(t *testing.T) {
+	m := New(2, 4)
+	src := mustFromSlice(t, 2, 2, []float64{1, 2, 3, 4})
+	if err := m.SetCols(1, src); err != nil {
+		t.Fatalf("SetCols: %v", err)
+	}
+	got, err := m.SliceCols(1, 3)
+	if err != nil {
+		t.Fatalf("SliceCols: %v", err)
+	}
+	if !Equal(got, src, 0) {
+		t.Fatalf("SetCols/SliceCols round trip = %v, want %v", got, src)
+	}
+}
+
+func TestConcatCols(t *testing.T) {
+	a := mustFromSlice(t, 2, 1, []float64{1, 3})
+	b := mustFromSlice(t, 2, 2, []float64{10, 20, 30, 40})
+	got, err := ConcatCols(a, b)
+	if err != nil {
+		t.Fatalf("ConcatCols: %v", err)
+	}
+	want := mustFromSlice(t, 2, 3, []float64{1, 10, 20, 3, 30, 40})
+	if !Equal(got, want, 0) {
+		t.Fatalf("ConcatCols = %v, want %v", got, want)
+	}
+	if _, err := ConcatCols(New(1, 1), New(2, 1)); !errors.Is(err, ErrShape) {
+		t.Fatalf("row mismatch should fail, got %v", err)
+	}
+}
+
+func TestArgmaxRow(t *testing.T) {
+	m := mustFromSlice(t, 2, 3, []float64{0.2, 0.7, 0.1, 5, -2, 4.9})
+	if got := m.ArgmaxRow(0); got != 1 {
+		t.Fatalf("ArgmaxRow(0) = %d, want 1", got)
+	}
+	if got := m.ArgmaxRow(1); got != 0 {
+		t.Fatalf("ArgmaxRow(1) = %d, want 0", got)
+	}
+}
+
+func TestNormsAndSums(t *testing.T) {
+	m := mustFromSlice(t, 1, 4, []float64{3, -4, 0, 0})
+	if got := m.Norm2(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Norm2 = %v, want 5", got)
+	}
+	if got := m.MaxAbs(); got != 4 {
+		t.Fatalf("MaxAbs = %v, want 4", got)
+	}
+	if got := m.Sum(); got != -1 {
+		t.Fatalf("Sum = %v, want -1", got)
+	}
+}
+
+func TestAddScaled(t *testing.T) {
+	m := mustFromSlice(t, 1, 2, []float64{1, 1})
+	b := mustFromSlice(t, 1, 2, []float64{2, 4})
+	if err := m.AddScaled(0.5, b); err != nil {
+		t.Fatalf("AddScaled: %v", err)
+	}
+	want := mustFromSlice(t, 1, 2, []float64{2, 3})
+	if !Equal(m, want, 1e-12) {
+		t.Fatalf("AddScaled = %v, want %v", m, want)
+	}
+}
+
+func TestCopyFromAndZeroFill(t *testing.T) {
+	a := mustFromSlice(t, 1, 2, []float64{7, 8})
+	b := New(1, 2)
+	if err := b.CopyFrom(a); err != nil {
+		t.Fatalf("CopyFrom: %v", err)
+	}
+	if !Equal(a, b, 0) {
+		t.Fatal("CopyFrom did not copy")
+	}
+	b.Zero()
+	if b.Sum() != 0 {
+		t.Fatal("Zero did not zero")
+	}
+	b.Fill(2)
+	if b.Sum() != 4 {
+		t.Fatal("Fill did not fill")
+	}
+	if err := b.CopyFrom(New(2, 2)); !errors.Is(err, ErrShape) {
+		t.Fatalf("CopyFrom shape mismatch: %v", err)
+	}
+}
+
+func TestRowViewAliases(t *testing.T) {
+	m := New(2, 2)
+	m.Row(1)[0] = 9
+	if m.At(1, 0) != 9 {
+		t.Fatal("Row must be a live view")
+	}
+	if err := m.SetRow(0, []float64{1, 2}); err != nil {
+		t.Fatalf("SetRow: %v", err)
+	}
+	if m.At(0, 1) != 2 {
+		t.Fatal("SetRow did not copy")
+	}
+	if err := m.SetRow(0, []float64{1}); !errors.Is(err, ErrShape) {
+		t.Fatalf("SetRow short row: %v", err)
+	}
+}
+
+func TestGlorotUniformBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := GlorotUniform(rng, 64, 32, 64, 32)
+	limit := math.Sqrt(6.0 / 96.0)
+	if m.MaxAbs() > limit {
+		t.Fatalf("Glorot init out of bounds: %v > %v", m.MaxAbs(), limit)
+	}
+	if m.Norm2() == 0 {
+		t.Fatal("Glorot init all zero")
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a := RandNormal(rand.New(rand.NewSource(3)), 4, 4, 1)
+	b := RandNormal(rand.New(rand.NewSource(3)), 4, 4, 1)
+	if !Equal(a, b, 0) {
+		t.Fatal("same seed must give same matrix")
+	}
+}
+
+func BenchmarkMatMul128(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := RandNormal(rng, 128, 128, 1)
+	y := RandNormal(rng, 128, 128, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MatMul(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

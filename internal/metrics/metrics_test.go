@@ -1,0 +1,210 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfusionScores(t *testing.T) {
+	c := Confusion{TP: 8, FP: 2, TN: 85, FN: 5}
+	if got := c.Precision(); got != 0.8 {
+		t.Fatalf("precision = %v", got)
+	}
+	if got := c.Recall(); math.Abs(got-8.0/13) > 1e-12 {
+		t.Fatalf("recall = %v", got)
+	}
+	if got := c.Accuracy(); got != 0.93 {
+		t.Fatalf("accuracy = %v", got)
+	}
+	wantF1 := 2 * 0.8 * (8.0 / 13) / (0.8 + 8.0/13)
+	if got := c.F1(); math.Abs(got-wantF1) > 1e-12 {
+		t.Fatalf("F1 = %v, want %v", got, wantF1)
+	}
+}
+
+func TestConfusionDegenerate(t *testing.T) {
+	var c Confusion
+	if c.Precision() != 0 || c.Recall() != 0 || c.Accuracy() != 0 || c.F1() != 0 {
+		t.Fatal("empty confusion must score zero, not NaN")
+	}
+}
+
+func TestConfusionAdd(t *testing.T) {
+	a := Confusion{TP: 1, FP: 2, TN: 3, FN: 4}
+	a.Add(Confusion{TP: 10, FP: 20, TN: 30, FN: 40})
+	if a != (Confusion{TP: 11, FP: 22, TN: 33, FN: 44}) {
+		t.Fatalf("Add = %+v", a)
+	}
+	if a.Total() != 110 {
+		t.Fatalf("Total = %d", a.Total())
+	}
+}
+
+func TestSampleLevel(t *testing.T) {
+	pred := []int{1, 0, 1, 0}
+	lab := []int{1, 0, 0, 1}
+	c, err := SampleLevel(pred, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != (Confusion{TP: 1, FP: 1, TN: 1, FN: 1}) {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if _, err := SampleLevel([]int{1}, []int{1, 0}); err == nil {
+		t.Fatal("want length-mismatch error")
+	}
+}
+
+func TestToleranceWindowEarlyAlarmCredited(t *testing.T) {
+	// Alarm fires 2 steps before the hazard; with δ=3 it is a TP for the
+	// hazard-bearing samples.
+	pred := []int{0, 1, 0, 0, 0, 0}
+	truth := []int{0, 0, 0, 1, 0, 0}
+	c, err := ToleranceWindow(pred, truth, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.FN != 0 {
+		t.Fatalf("early alarm not credited: %+v", c)
+	}
+	if c.TP == 0 {
+		t.Fatalf("no TP: %+v", c)
+	}
+}
+
+func TestToleranceWindowLateAlarmNotCredited(t *testing.T) {
+	// Alarm fires only 3 steps after the hazard; with δ=1 the hazard
+	// samples are FNs and the late alarm is an FP.
+	pred := []int{0, 0, 0, 0, 1, 0}
+	truth := []int{0, 1, 0, 0, 0, 0}
+	c, err := ToleranceWindow(pred, truth, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.FN == 0 {
+		t.Fatalf("missed hazard must be FN: %+v", c)
+	}
+	if c.FP == 0 {
+		t.Fatalf("late alarm must be FP: %+v", c)
+	}
+}
+
+func TestToleranceWindowZeroDeltaIsSampleLevel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := seed
+		next := func() int {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			if rng < 0 {
+				return 0
+			}
+			return int(rng % 2)
+		}
+		n := 20
+		pred := make([]int, n)
+		truth := make([]int, n)
+		for i := range pred {
+			pred[i], truth[i] = next(), next()
+		}
+		a, err1 := ToleranceWindow(pred, truth, 0)
+		b, err2 := SampleLevel(pred, truth)
+		return err1 == nil && err2 == nil && a == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestToleranceWindowPerfectPredictor(t *testing.T) {
+	truth := []int{0, 0, 1, 1, 0, 0, 1, 0}
+	c, err := ToleranceWindow(truth, truth, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.FN != 0 {
+		t.Fatalf("perfect predictor has FNs: %+v", c)
+	}
+	if c.F1() < 0.99 {
+		t.Fatalf("perfect predictor F1 = %v", c.F1())
+	}
+}
+
+func TestToleranceWindowMonotonicInDelta(t *testing.T) {
+	// Widening δ can only help an early-warning predictor's recall.
+	pred := []int{1, 0, 0, 0, 0, 0, 0, 0}
+	truth := []int{0, 0, 0, 0, 1, 0, 0, 0}
+	prevRecall := -1.0
+	for delta := 0; delta <= 5; delta++ {
+		c, err := ToleranceWindow(pred, truth, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := c.Recall(); r < prevRecall {
+			t.Fatalf("recall decreased from %v to %v at δ=%d", prevRecall, r, delta)
+		} else {
+			prevRecall = r
+		}
+	}
+}
+
+func TestToleranceWindowValidation(t *testing.T) {
+	if _, err := ToleranceWindow([]int{1}, []int{1, 0}, 1); err == nil {
+		t.Fatal("want length-mismatch error")
+	}
+	if _, err := ToleranceWindow([]int{1}, []int{1}, -1); err == nil {
+		t.Fatal("want negative-delta error")
+	}
+}
+
+func TestRobustnessError(t *testing.T) {
+	orig := []int{0, 1, 0, 1}
+	pert := []int{0, 0, 0, 1}
+	got, err := RobustnessError(orig, pert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.25 {
+		t.Fatalf("robustness error = %v, want 0.25", got)
+	}
+}
+
+func TestRobustnessErrorBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 17
+		a := make([]int, n)
+		b := make([]int, n)
+		s := seed
+		for i := range a {
+			s = s*2862933555777941757 + 3037000493
+			a[i] = int(uint(s) % 2)
+			s = s*2862933555777941757 + 3037000493
+			b[i] = int(uint(s) % 2)
+		}
+		r, err := RobustnessError(a, b)
+		if err != nil || r < 0 || r > 1 {
+			return false
+		}
+		same, err := RobustnessError(a, a)
+		return err == nil && same == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRobustnessErrorEdgeCases(t *testing.T) {
+	if _, err := RobustnessError([]int{1}, []int{1, 2}); err == nil {
+		t.Fatal("want length-mismatch error")
+	}
+	r, err := RobustnessError(nil, nil)
+	if err != nil || r != 0 {
+		t.Fatalf("empty robustness error = %v, %v", r, err)
+	}
+}
+
+func TestConfusionString(t *testing.T) {
+	s := Confusion{TP: 1, FP: 2, TN: 3, FN: 4}.String()
+	if s != "Confusion{TP:1 FP:2 TN:3 FN:4}" {
+		t.Fatalf("String = %q", s)
+	}
+}

@@ -1,0 +1,83 @@
+package monitor
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+)
+
+// Debounced wraps a Monitor with m-of-n alarm stabilization, the standard
+// medical-alarm practice: an alert is raised only when at least M of the
+// last N per-sample verdicts are unsafe, suppressing single-sample flickers
+// (which both CGM noise and transient perturbations produce). Samples must
+// be presented in episode order; call Reset between episodes, or use
+// ClassifyEpisodes with episode boundaries.
+type Debounced struct {
+	inner Monitor
+	m, n  int
+
+	history []bool
+}
+
+var _ Monitor = (*Debounced)(nil)
+
+// NewDebounced wraps inner with an M-of-N filter.
+func NewDebounced(inner Monitor, m, n int) (*Debounced, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("monitor: debounce needs a monitor")
+	}
+	if n < 1 || m < 1 || m > n {
+		return nil, fmt.Errorf("monitor: debounce m=%d n=%d, want 1 ≤ m ≤ n", m, n)
+	}
+	return &Debounced{inner: inner, m: m, n: n}, nil
+}
+
+// Name implements Monitor.
+func (d *Debounced) Name() string {
+	return fmt.Sprintf("%s_debounced_%dof%d", d.inner.Name(), d.m, d.n)
+}
+
+// Reset clears the rolling verdict history (between episodes).
+func (d *Debounced) Reset() { d.history = d.history[:0] }
+
+// Classify implements Monitor: verdicts are filtered sequentially with the
+// rolling m-of-n window.
+func (d *Debounced) Classify(samples []dataset.Sample) ([]Verdict, error) {
+	raw, err := d.inner.Classify(samples)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Verdict, len(raw))
+	for i, v := range raw {
+		d.history = append(d.history, v.Unsafe)
+		if len(d.history) > d.n {
+			d.history = d.history[1:]
+		}
+		count := 0
+		for _, h := range d.history {
+			if h {
+				count++
+			}
+		}
+		out[i] = Verdict{Unsafe: count >= d.m, Confidence: v.Confidence}
+	}
+	return out, nil
+}
+
+// ClassifyEpisodes filters each episode range independently (resetting the
+// window at boundaries), matching how datasets index episodes.
+func (d *Debounced) ClassifyEpisodes(samples []dataset.Sample, episodes [][2]int) ([]Verdict, error) {
+	out := make([]Verdict, len(samples))
+	for _, r := range episodes {
+		if r[0] < 0 || r[1] > len(samples) || r[0] > r[1] {
+			return nil, fmt.Errorf("monitor: episode range %v out of bounds", r)
+		}
+		d.Reset()
+		v, err := d.Classify(samples[r[0]:r[1]])
+		if err != nil {
+			return nil, err
+		}
+		copy(out[r[0]:r[1]], v)
+	}
+	return out, nil
+}

@@ -1,0 +1,138 @@
+package monitor
+
+import (
+	"testing"
+
+	"repro/internal/controller"
+	"repro/internal/dataset"
+)
+
+// flickerMonitor returns predetermined verdicts for testing the filter.
+type flickerMonitor struct {
+	verdicts []bool
+	at       int
+}
+
+func (f *flickerMonitor) Name() string { return "flicker" }
+func (f *flickerMonitor) Classify(samples []dataset.Sample) ([]Verdict, error) {
+	out := make([]Verdict, len(samples))
+	for i := range out {
+		out[i] = Verdict{Unsafe: f.verdicts[(f.at+i)%len(f.verdicts)], Confidence: 1}
+	}
+	f.at += len(samples)
+	return out, nil
+}
+
+func TestDebounceValidation(t *testing.T) {
+	if _, err := NewDebounced(nil, 2, 3); err == nil {
+		t.Fatal("want error for nil monitor")
+	}
+	rb := NewRuleBased(140)
+	for _, mn := range [][2]int{{0, 3}, {4, 3}, {1, 0}} {
+		if _, err := NewDebounced(rb, mn[0], mn[1]); err == nil {
+			t.Fatalf("want error for m=%d n=%d", mn[0], mn[1])
+		}
+	}
+	d, err := NewDebounced(rb, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != "rule_based_debounced_2of3" {
+		t.Fatalf("name = %q", d.Name())
+	}
+}
+
+func TestDebounceSuppressesFlicker(t *testing.T) {
+	// Alternating verdicts: a 2-of-3 filter should never alarm.
+	f := &flickerMonitor{verdicts: []bool{true, false, false, true, false, false}}
+	d, err := NewDebounced(f, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := make([]dataset.Sample, 12)
+	v, err := d.Classify(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range v {
+		if x.Unsafe {
+			t.Fatalf("flicker alarm at %d", i)
+		}
+	}
+}
+
+func TestDebouncePassesSustainedAlarm(t *testing.T) {
+	f := &flickerMonitor{verdicts: []bool{true}}
+	d, err := NewDebounced(f, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := make([]dataset.Sample, 5)
+	v, err := d.Classify(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0].Unsafe {
+		t.Fatal("first sample cannot satisfy 2-of-3 yet")
+	}
+	for i := 1; i < 5; i++ {
+		if !v[i].Unsafe {
+			t.Fatalf("sustained alarm suppressed at %d", i)
+		}
+	}
+}
+
+func TestDebounceEpisodeBoundariesReset(t *testing.T) {
+	// One trailing unsafe verdict at an episode end must not leak into the
+	// next episode's window.
+	f := &flickerMonitor{verdicts: []bool{false, false, true, true, false, false}}
+	d, err := NewDebounced(f, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := make([]dataset.Sample, 6)
+	v, err := d.ClassifyEpisodes(samples, [][2]int{{0, 4}, {4, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v[3].Unsafe {
+		t.Fatal("2-of-2 sustained alarm missed at end of episode 1")
+	}
+	if v[4].Unsafe {
+		t.Fatal("episode-2 window contaminated by episode-1 history")
+	}
+	if _, err := d.ClassifyEpisodes(samples, [][2]int{{0, 99}}); err == nil {
+		t.Fatal("want error for bad range")
+	}
+}
+
+func TestDebounceOnRealMonitor(t *testing.T) {
+	rb := NewRuleBased(140)
+	d, err := NewDebounced(rb, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One isolated unsafe context among safe ones: raw monitor alarms once,
+	// debounced never.
+	samples := []dataset.Sample{
+		{BG: 120, DeltaBG: 0, DeltaIOB: 0, Action: controller.ActionKeep},
+		{BG: 200, DeltaBG: 2, DeltaIOB: -0.01, Action: controller.ActionDecrease},
+		{BG: 120, DeltaBG: 0, DeltaIOB: 0, Action: controller.ActionKeep},
+	}
+	raw, err := rb.Classify(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !raw[1].Unsafe {
+		t.Fatal("raw monitor should alarm on the unsafe context")
+	}
+	filtered, err := d.Classify(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range filtered {
+		if v.Unsafe {
+			t.Fatalf("isolated alarm passed the 2-of-3 filter at %d", i)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package monitor
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/sim"
+)
+
+// Guard adapts any Monitor into the closed-loop safety guard of Fig. 1(a):
+// it reviews every issued control command in its window context and, when
+// the monitor predicts a hazard, stops the command and substitutes the
+// fallback rate (the scheduled basal — the safest default for an APS).
+//
+// ML monitors whose window representation needs W steps abstain (pass the
+// command through) until enough history has accumulated.
+type Guard struct {
+	monitor  Monitor
+	window   int
+	fallback float64
+	stepMin  float64
+
+	// Vetoes counts interventions, for reporting.
+	Vetoes int
+}
+
+var _ sim.Guard = (*Guard)(nil)
+
+// NewGuard wraps monitor m into a guard with a W-step context window and
+// the given fallback rate (U/h) delivered on veto.
+func NewGuard(m Monitor, window int, fallbackRate float64) (*Guard, error) {
+	if m == nil {
+		return nil, fmt.Errorf("monitor: guard needs a monitor")
+	}
+	if window < 2 {
+		return nil, fmt.Errorf("monitor: guard window %d, want ≥ 2", window)
+	}
+	if fallbackRate < 0 {
+		return nil, fmt.Errorf("monitor: negative fallback rate %v", fallbackRate)
+	}
+	return &Guard{monitor: m, window: window, fallback: fallbackRate, stepMin: 5}, nil
+}
+
+// WindowSize implements sim.Guard.
+func (g *Guard) WindowSize() int { return g.window }
+
+// Review implements sim.Guard.
+func (g *Guard) Review(window []sim.Record, proposed float64) (float64, bool) {
+	if len(window) < g.window {
+		return proposed, false // not enough context yet
+	}
+	sample, err := dataset.SampleFromWindow(window, g.stepMin)
+	if err != nil {
+		return proposed, false
+	}
+	verdicts, err := g.monitor.Classify([]dataset.Sample{sample})
+	if err != nil || len(verdicts) != 1 {
+		return proposed, false // abstain on error: never block on a broken monitor
+	}
+	if !verdicts[0].Unsafe {
+		return proposed, false
+	}
+	g.Vetoes++
+	if proposed == g.fallback {
+		return proposed, false // nothing to substitute
+	}
+	return g.fallback, true
+}

@@ -1,0 +1,118 @@
+package monitor
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestGuardValidation(t *testing.T) {
+	if _, err := NewGuard(nil, 6, 1); err == nil {
+		t.Fatal("want error for nil monitor")
+	}
+	rb := NewRuleBased(140)
+	if _, err := NewGuard(rb, 1, 1); err == nil {
+		t.Fatal("want error for window < 2")
+	}
+	if _, err := NewGuard(rb, 6, -1); err == nil {
+		t.Fatal("want error for negative fallback")
+	}
+}
+
+func TestGuardAbstainsWithoutContext(t *testing.T) {
+	g, err := NewGuard(NewRuleBased(140), 6, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate, vetoed := g.Review([]sim.Record{{CGM: 300}}, 5)
+	if vetoed || rate != 5 {
+		t.Fatalf("guard should abstain with a short window: %v %v", rate, vetoed)
+	}
+}
+
+func TestGuardVetoesUnsafeContext(t *testing.T) {
+	g, err := NewGuard(NewRuleBased(140), 3, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A high-and-rising BG window with the pump stopped: rule 9 context.
+	window := []sim.Record{
+		{Step: 5, CGM: 200, Rate: 0, Action: 3 /* stop */},
+		{Step: 6, CGM: 210, Rate: 0, Action: 3, DeltaBG: 2},
+		{Step: 7, CGM: 220, Rate: 0, Action: 3, DeltaBG: 2},
+	}
+	rate, vetoed := g.Review(window, 0)
+	if !vetoed {
+		t.Fatal("guard should veto a stop command at high rising BG")
+	}
+	if rate != 0.8 {
+		t.Fatalf("fallback rate = %v, want 0.8", rate)
+	}
+	if g.Vetoes != 1 {
+		t.Fatalf("veto count = %d", g.Vetoes)
+	}
+}
+
+// End-to-end: a guarded faulty episode reaches fewer hazardous steps than an
+// unguarded one — the purpose of the whole framework (Fig 1a).
+func TestGuardReducesHazardsInFaultyEpisode(t *testing.T) {
+	run := func(guarded bool) int {
+		cfg, err := sim.BuildGlucosymEpisode(sim.EpisodeConfig{ProfileID: 1, Seed: 3}, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Fault = &sim.Fault{Type: sim.FaultMax, StartStep: 30, Duration: 120, Magnitude: 8}
+		if guarded {
+			g, err := NewGuard(NewRuleBased(140), 6, cfg.Patient.BasalRate())
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Guard = g
+		}
+		tr, err := sim.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(tr.HazardSteps())
+	}
+	unguarded := run(false)
+	guarded := run(true)
+	if unguarded == 0 {
+		t.Fatal("fault did not produce hazards — scenario broken")
+	}
+	if guarded >= unguarded {
+		t.Fatalf("guard did not reduce hazards: %d (guarded) vs %d (unguarded)", guarded, unguarded)
+	}
+}
+
+func TestGuardedTraceMarksVetoes(t *testing.T) {
+	cfg, err := sim.BuildGlucosymEpisode(sim.EpisodeConfig{ProfileID: 1, Seed: 3}, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Fault = &sim.Fault{Type: sim.FaultMax, StartStep: 30, Duration: 100, Magnitude: 8}
+	g, err := NewGuard(NewRuleBased(140), 6, cfg.Patient.BasalRate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Guard = g
+	tr, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vetoes := 0
+	for _, r := range tr.Records {
+		if r.Vetoed {
+			vetoes++
+			if r.Rate != cfg.Patient.BasalRate() {
+				t.Fatalf("vetoed step delivers %v, want fallback %v", r.Rate, cfg.Patient.BasalRate())
+			}
+		}
+	}
+	if vetoes == 0 {
+		t.Fatal("no vetoes recorded in trace")
+	}
+	if g.Vetoes < vetoes {
+		t.Fatalf("guard counter %d below trace vetoes %d", g.Vetoes, vetoes)
+	}
+}

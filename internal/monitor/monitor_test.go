@@ -1,0 +1,385 @@
+package monitor
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/controller"
+	"repro/internal/dataset"
+)
+
+func campaignSplits(t *testing.T, s dataset.Simulator) (*dataset.Dataset, *dataset.Dataset) {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.CampaignConfig{
+		Simulator:          s,
+		Profiles:           6,
+		EpisodesPerProfile: 2,
+		Steps:              100,
+		Seed:               42,
+	})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	train, test, err := ds.Split(0.75)
+	if err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	return train, test
+}
+
+// accuracy of verdicts against labels.
+func accuracyOf(t *testing.T, m Monitor, ds *dataset.Dataset) float64 {
+	t.Helper()
+	v, err := m.Classify(ds.Samples)
+	if err != nil {
+		t.Fatalf("%s Classify: %v", m.Name(), err)
+	}
+	correct := 0
+	for i, s := range ds.Samples {
+		pred := 0
+		if v[i].Unsafe {
+			pred = 1
+		}
+		if pred == s.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}
+
+func smallTrainCfg(arch Arch, semantic bool) TrainConfig {
+	return TrainConfig{
+		Arch:     arch,
+		Semantic: semantic,
+		Epochs:   25,
+		Hidden1:  32,
+		Hidden2:  16,
+		Seed:     7,
+	}
+}
+
+func TestRuleBasedMonitor(t *testing.T) {
+	_, test := campaignSplits(t, dataset.Glucosym)
+	rb := NewRuleBased(140)
+	if rb.Name() != "rule_based" {
+		t.Fatalf("name = %q", rb.Name())
+	}
+	acc := accuracyOf(t, rb, test)
+	if acc < 0.5 {
+		t.Fatalf("rule-based accuracy = %v, want ≥ 0.5", acc)
+	}
+	// Verdicts must be confident (binary rules).
+	v, err := rb.Classify(test.Samples[:5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range v {
+		if x.Confidence != 1 {
+			t.Fatalf("rule-based confidence = %v", x.Confidence)
+		}
+	}
+}
+
+func TestRuleBasedFlagsKnownUnsafeContext(t *testing.T) {
+	rb := NewRuleBased(140)
+	samples := []dataset.Sample{
+		{BG: 200, DeltaBG: 2, DeltaIOB: -0.01, Action: controller.ActionDecrease}, // rule 1
+		{BG: 120, DeltaBG: 0.1, DeltaIOB: 0, Action: controller.ActionKeep},       // safe
+	}
+	v, err := rb.Classify(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v[0].Unsafe || v[1].Unsafe {
+		t.Fatalf("verdicts = %+v", v)
+	}
+}
+
+func TestTrainMLPMonitor(t *testing.T) {
+	train, test := campaignSplits(t, dataset.Glucosym)
+	m, err := Train(train, smallTrainCfg(ArchMLP, false))
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	if m.Name() != "mlp" {
+		t.Fatalf("name = %q", m.Name())
+	}
+	acc := accuracyOf(t, m, test)
+	if acc < 0.75 {
+		t.Fatalf("MLP test accuracy = %v, want ≥ 0.75", acc)
+	}
+}
+
+func TestTrainMLPCustomMonitor(t *testing.T) {
+	train, test := campaignSplits(t, dataset.Glucosym)
+	m, err := Train(train, smallTrainCfg(ArchMLP, true))
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	if m.Name() != "mlp_custom" || !m.Custom() {
+		t.Fatalf("name = %q custom = %v", m.Name(), m.Custom())
+	}
+	acc := accuracyOf(t, m, test)
+	if acc < 0.7 {
+		t.Fatalf("MLP-Custom test accuracy = %v, want ≥ 0.7", acc)
+	}
+}
+
+func TestTrainLSTMMonitor(t *testing.T) {
+	train, test := campaignSplits(t, dataset.T1DS)
+	m, err := Train(train, smallTrainCfg(ArchLSTM, false))
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	if m.Name() != "lstm" || m.Arch() != ArchLSTM {
+		t.Fatalf("name = %q", m.Name())
+	}
+	acc := accuracyOf(t, m, test)
+	if acc < 0.7 {
+		t.Fatalf("LSTM test accuracy = %v, want ≥ 0.7", acc)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	train, _ := campaignSplits(t, dataset.Glucosym)
+	if _, err := Train(train, TrainConfig{Arch: Arch(9)}); err == nil {
+		t.Fatal("want error for unknown arch")
+	}
+	empty := &dataset.Dataset{}
+	if _, err := Train(empty, TrainConfig{Arch: ArchMLP}); err == nil {
+		t.Fatal("want error for empty training set")
+	}
+	// Dataset without normalizers (not produced by Split) must be rejected.
+	noNorm := *train
+	noNorm.MLPNorm = nil
+	if _, err := Train(&noNorm, TrainConfig{Arch: ArchMLP}); err == nil {
+		t.Fatal("want error for missing normalizers")
+	}
+}
+
+func TestTrainingDeterminism(t *testing.T) {
+	train, test := campaignSplits(t, dataset.Glucosym)
+	cfg := smallTrainCfg(ArchMLP, false)
+	a, err := Train(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, err := a.Classify(test.Samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb, err := b.Classify(test.Samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range va {
+		if va[i] != vb[i] {
+			t.Fatalf("verdict %d differs between identically-seeded trainings", i)
+		}
+	}
+}
+
+func TestClassifyMatrixMatchesClassify(t *testing.T) {
+	train, test := campaignSplits(t, dataset.Glucosym)
+	m, err := Train(train, smallTrainCfg(ArchMLP, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := test.Samples[:20]
+	v1, err := m.Classify(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := m.InputMatrix(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := m.ClassifyMatrix(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatalf("verdict %d differs between paths", i)
+		}
+	}
+}
+
+func TestInputMatrixWidthValidation(t *testing.T) {
+	train, _ := campaignSplits(t, dataset.Glucosym)
+	m, err := Train(train, smallTrainCfg(ArchMLP, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []dataset.Sample{{MLP: []float64{1, 2}}}
+	if _, err := m.InputMatrix(bad); err == nil {
+		t.Fatal("want error for wrong feature width")
+	}
+}
+
+func TestMonitorSaveHeader(t *testing.T) {
+	train, _ := campaignSplits(t, dataset.Glucosym)
+	m, err := Train(train, smallTrainCfg(ArchMLP, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "mlp 6 6 true\n") {
+		t.Fatalf("header = %q", strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+}
+
+func TestArchString(t *testing.T) {
+	if ArchMLP.String() != "mlp" || ArchLSTM.String() != "lstm" {
+		t.Fatal("arch strings")
+	}
+	if !strings.Contains(Arch(5).String(), "5") {
+		t.Fatal("unknown arch string")
+	}
+}
+
+// The semantic loss should pull ML predictions toward rule verdicts,
+// increasing prediction/rule agreement vs the baseline (the transparency
+// property §IV-C claims).
+func TestCustomMonitorAgreesWithRulesMore(t *testing.T) {
+	train, test := campaignSplits(t, dataset.Glucosym)
+	base, err := Train(train, smallTrainCfg(ArchMLP, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallTrainCfg(ArchMLP, true)
+	cfg.SemanticWeight = 2
+	custom, err := Train(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agreement := func(m Monitor) float64 {
+		v, err := m.Classify(test.Samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agree := 0
+		for i, s := range test.Samples {
+			pred := 0.0
+			if v[i].Unsafe {
+				pred = 1
+			}
+			if pred == s.Knowledge {
+				agree++
+			}
+		}
+		return float64(agree) / float64(test.Len())
+	}
+	if ab, ac := agreement(base), agreement(custom); ac+0.02 < ab {
+		t.Fatalf("custom monitor agrees with rules less than baseline: %v vs %v", ac, ab)
+	}
+}
+
+func TestMonitorSaveLoadRoundTrip(t *testing.T) {
+	train, test := campaignSplits(t, dataset.Glucosym)
+	for _, arch := range []Arch{ArchMLP, ArchLSTM} {
+		orig, err := Train(train, smallTrainCfg(arch, true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := orig.Save(&buf); err != nil {
+			t.Fatalf("Save: %v", err)
+		}
+		loaded, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("Load: %v", err)
+		}
+		if loaded.Name() != orig.Name() {
+			t.Fatalf("name %q != %q", loaded.Name(), orig.Name())
+		}
+		sub := test.Samples[:30]
+		vo, err := orig.Classify(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vl, err := loaded.Classify(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range vo {
+			if vo[i] != vl[i] {
+				t.Fatalf("%s verdict %d differs after round trip", orig.Name(), i)
+			}
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("")); err == nil {
+		t.Fatal("want error for empty input")
+	}
+	if _, err := Load(bytes.NewBufferString("warp 1 2 false\n{}\n{}\n")); err == nil {
+		t.Fatal("want error for unknown architecture")
+	}
+	if _, err := Load(bytes.NewBufferString("not a header at all\n")); err == nil {
+		t.Fatal("want error for malformed header")
+	}
+}
+
+func TestAdversarialTrainingImprovesRobustness(t *testing.T) {
+	train, test := campaignSplits(t, dataset.Glucosym)
+	base, err := Train(train, smallTrainCfg(ArchMLP, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	advCfg := smallTrainCfg(ArchMLP, false)
+	advCfg.AdversarialEps = 0.1
+	hardened, err := Train(train, advCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare the fraction of predictions flipped by FGSM at ε=0.1.
+	flipRate := func(m *MLMonitor) float64 {
+		x, err := m.InputMatrix(test.Samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig, err := m.PredictClasses(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grad, err := m.Model().InputGradient(x, test.Labels(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		adv := x.Clone()
+		for i := 0; i < adv.Rows(); i++ {
+			row, grow := adv.Row(i), grad.Row(i)
+			for j := range row {
+				if grow[j] > 0 {
+					row[j] += 0.1
+				} else if grow[j] < 0 {
+					row[j] -= 0.1
+				}
+			}
+		}
+		pert, err := m.PredictClasses(adv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flips := 0
+		for i := range orig {
+			if orig[i] != pert[i] {
+				flips++
+			}
+		}
+		return float64(flips) / float64(len(orig))
+	}
+	if br, hr := flipRate(base), flipRate(hardened); hr > br {
+		t.Fatalf("adversarial training did not reduce flip rate: base %v hardened %v", br, hr)
+	}
+}

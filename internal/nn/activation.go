@@ -1,0 +1,146 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/mat"
+)
+
+// ReLU is the rectified-linear activation layer.
+type ReLU struct {
+	mask *mat.Matrix // 1 where input > 0
+}
+
+var _ Layer = (*ReLU)(nil)
+
+// NewReLU constructs a ReLU layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return "relu" }
+
+// OutputSize implements Layer.
+func (r *ReLU) OutputSize(inputSize int) (int, error) { return inputSize, nil }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *mat.Matrix) (*mat.Matrix, error) {
+	r.mask = x.Apply(func(v float64) float64 {
+		if v > 0 {
+			return 1
+		}
+		return 0
+	})
+	return x.Apply(func(v float64) float64 { return math.Max(0, v) }), nil
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(gradOut *mat.Matrix) (*mat.Matrix, error) {
+	if r.mask == nil {
+		return nil, ErrNotReady
+	}
+	gx, err := mat.Hadamard(gradOut, r.mask)
+	if err != nil {
+		return nil, err
+	}
+	return gx, nil
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Tanh is the hyperbolic-tangent activation layer.
+type Tanh struct {
+	out *mat.Matrix
+}
+
+var _ Layer = (*Tanh)(nil)
+
+// NewTanh constructs a Tanh layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Name implements Layer.
+func (t *Tanh) Name() string { return "tanh" }
+
+// OutputSize implements Layer.
+func (t *Tanh) OutputSize(inputSize int) (int, error) { return inputSize, nil }
+
+// Forward implements Layer.
+func (t *Tanh) Forward(x *mat.Matrix) (*mat.Matrix, error) {
+	t.out = x.Apply(math.Tanh)
+	return t.out, nil
+}
+
+// Backward implements Layer.
+func (t *Tanh) Backward(gradOut *mat.Matrix) (*mat.Matrix, error) {
+	if t.out == nil {
+		return nil, ErrNotReady
+	}
+	deriv := t.out.Apply(func(y float64) float64 { return 1 - y*y })
+	return mat.Hadamard(gradOut, deriv)
+}
+
+// Params implements Layer.
+func (t *Tanh) Params() []*Param { return nil }
+
+// Sigmoid is the logistic activation layer.
+type Sigmoid struct {
+	out *mat.Matrix
+}
+
+var _ Layer = (*Sigmoid)(nil)
+
+// NewSigmoid constructs a Sigmoid layer.
+func NewSigmoid() *Sigmoid { return &Sigmoid{} }
+
+// Name implements Layer.
+func (s *Sigmoid) Name() string { return "sigmoid" }
+
+// OutputSize implements Layer.
+func (s *Sigmoid) OutputSize(inputSize int) (int, error) { return inputSize, nil }
+
+// Forward implements Layer.
+func (s *Sigmoid) Forward(x *mat.Matrix) (*mat.Matrix, error) {
+	s.out = x.Apply(sigmoid)
+	return s.out, nil
+}
+
+// Backward implements Layer.
+func (s *Sigmoid) Backward(gradOut *mat.Matrix) (*mat.Matrix, error) {
+	if s.out == nil {
+		return nil, ErrNotReady
+	}
+	deriv := s.out.Apply(func(y float64) float64 { return y * (1 - y) })
+	return mat.Hadamard(gradOut, deriv)
+}
+
+// Params implements Layer.
+func (s *Sigmoid) Params() []*Param { return nil }
+
+func sigmoid(v float64) float64 { return 1 / (1 + math.Exp(-v)) }
+
+// Softmax converts a row of logits into a probability distribution. It is
+// provided as a standalone function because the losses fuse softmax with
+// their gradient for numerical stability.
+func Softmax(logits *mat.Matrix) *mat.Matrix {
+	out := mat.New(logits.Rows(), logits.Cols())
+	for i := 0; i < logits.Rows(); i++ {
+		row := logits.Row(i)
+		mx := math.Inf(-1)
+		for _, v := range row {
+			if v > mx {
+				mx = v
+			}
+		}
+		var sum float64
+		orow := out.Row(i)
+		for j, v := range row {
+			e := math.Exp(v - mx)
+			orow[j] = e
+			sum += e
+		}
+		for j := range orow {
+			orow[j] /= sum
+		}
+	}
+	return out
+}

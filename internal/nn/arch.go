@@ -1,0 +1,98 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// The architectures below mirror §IV-A of the paper.
+
+// MLPConfig sizes the fully-connected monitor. Zero values select the paper's
+// configuration (hidden layers of 256 and 128 units).
+type MLPConfig struct {
+	Hidden1, Hidden2 int
+	Classes          int
+	Loss             Loss
+}
+
+func (c *MLPConfig) fill() {
+	if c.Hidden1 == 0 {
+		c.Hidden1 = 256
+	}
+	if c.Hidden2 == 0 {
+		c.Hidden2 = 128
+	}
+	if c.Classes == 0 {
+		c.Classes = 2
+	}
+}
+
+// NewMLPClassifier builds the paper's MLP monitor: two fully-connected layers
+// (256, 128) with ReLU, then a logit layer (softmax is fused in the loss).
+func NewMLPClassifier(rng *rand.Rand, inputSize int, cfg MLPConfig) (*Model, error) {
+	cfg.fill()
+	if inputSize <= 0 {
+		return nil, fmt.Errorf("nn: mlp input size %d", inputSize)
+	}
+	return NewModel(inputSize, cfg.Loss,
+		NewDense(rng, inputSize, cfg.Hidden1),
+		NewReLU(),
+		NewDense(rng, cfg.Hidden1, cfg.Hidden2),
+		NewReLU(),
+		NewDense(rng, cfg.Hidden2, cfg.Classes),
+	)
+}
+
+// LSTMConfig sizes the recurrent monitor. Zero values select the paper's
+// configuration (stacked LSTM of 128 and 64 units over 6 time steps).
+type LSTMConfig struct {
+	Hidden1, Hidden2 int
+	Steps            int
+	Classes          int
+	Loss             Loss
+}
+
+func (c *LSTMConfig) fill() {
+	if c.Hidden1 == 0 {
+		c.Hidden1 = 128
+	}
+	if c.Hidden2 == 0 {
+		c.Hidden2 = 64
+	}
+	if c.Steps == 0 {
+		c.Steps = 6
+	}
+	if c.Classes == 0 {
+		c.Classes = 2
+	}
+}
+
+// NewLSTMClassifier builds the paper's LSTM monitor: a two-layer (128-64)
+// stacked LSTM over a 6-step window followed by a dense softmax head. The
+// model input is the flattened window (steps × featuresPerStep columns).
+func NewLSTMClassifier(rng *rand.Rand, featuresPerStep int, cfg LSTMConfig) (*Model, error) {
+	cfg.fill()
+	if featuresPerStep <= 0 {
+		return nil, fmt.Errorf("nn: lstm feature size %d", featuresPerStep)
+	}
+	return NewModel(cfg.Steps*featuresPerStep, cfg.Loss,
+		NewLSTM(rng, featuresPerStep, cfg.Hidden1, cfg.Steps, true),
+		NewLSTM(rng, cfg.Hidden1, cfg.Hidden2, cfg.Steps, false),
+		NewDense(rng, cfg.Hidden2, cfg.Classes),
+	)
+}
+
+// NewSubstituteMLP builds the black-box attacker's substitute model: a
+// two-layer (128-64) MLP (§III, Black-box Attacks).
+func NewSubstituteMLP(rng *rand.Rand, inputSize, classes int) (*Model, error) {
+	if classes == 0 {
+		classes = 2
+	}
+	return NewModel(inputSize, CrossEntropy{},
+		NewDense(rng, inputSize, 128),
+		NewReLU(),
+		NewDense(rng, 128, 64),
+		NewReLU(),
+		NewDense(rng, 64, classes),
+	)
+}

@@ -1,0 +1,84 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mat"
+)
+
+// Dense is a fully-connected layer: y = x·W + b.
+type Dense struct {
+	in, out int
+	w       *Param // in×out
+	b       *Param // 1×out
+
+	lastInput *mat.Matrix // cached for backward
+}
+
+var _ Layer = (*Dense)(nil)
+
+// NewDense constructs a Dense layer with Glorot-uniform weights.
+func NewDense(rng *rand.Rand, in, out int) *Dense {
+	return &Dense{
+		in:  in,
+		out: out,
+		w:   newParam("W", mat.GlorotUniform(rng, in, out, in, out)),
+		b:   newParam("b", mat.New(1, out)),
+	}
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return "dense" }
+
+// InputSize returns the expected number of input features.
+func (d *Dense) InputSize() int { return d.in }
+
+// OutputSize implements Layer.
+func (d *Dense) OutputSize(inputSize int) (int, error) {
+	if inputSize != d.in {
+		return 0, fmt.Errorf("nn: dense expects %d inputs, got %d", d.in, inputSize)
+	}
+	return d.out, nil
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *mat.Matrix) (*mat.Matrix, error) {
+	if x.Cols() != d.in {
+		return nil, fmt.Errorf("nn: dense forward: %d input cols, want %d", x.Cols(), d.in)
+	}
+	d.lastInput = x
+	y, err := mat.MatMul(x, d.w.W)
+	if err != nil {
+		return nil, fmt.Errorf("nn: dense forward: %w", err)
+	}
+	if err := y.AddRowVector(d.b.W); err != nil {
+		return nil, fmt.Errorf("nn: dense forward bias: %w", err)
+	}
+	return y, nil
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(gradOut *mat.Matrix) (*mat.Matrix, error) {
+	if d.lastInput == nil {
+		return nil, ErrNotReady
+	}
+	gw, err := mat.TMatMul(d.lastInput, gradOut) // xᵀ·gy
+	if err != nil {
+		return nil, fmt.Errorf("nn: dense backward dW: %w", err)
+	}
+	if err := d.w.G.AddInPlace(gw); err != nil {
+		return nil, fmt.Errorf("nn: dense backward accumulate dW: %w", err)
+	}
+	if err := d.b.G.AddInPlace(gradOut.SumRows()); err != nil {
+		return nil, fmt.Errorf("nn: dense backward db: %w", err)
+	}
+	gx, err := mat.MatMulT(gradOut, d.w.W) // gy·Wᵀ
+	if err != nil {
+		return nil, fmt.Errorf("nn: dense backward dx: %w", err)
+	}
+	return gx, nil
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }

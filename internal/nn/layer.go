@@ -1,0 +1,54 @@
+// Package nn is a from-scratch neural-network library sufficient to reproduce
+// the ML safety monitors of the paper: fully-connected and stacked-LSTM
+// classifiers trained with Adam on (sparse categorical) cross-entropy or the
+// knowledge-integrating semantic loss, with exact gradients with respect to
+// the *inputs* exposed for FGSM adversarial-example crafting.
+//
+// All data flows through 2-D row-major matrices (batch × features); recurrent
+// layers treat the feature axis as time-major flattened windows
+// (batch × steps·features).
+package nn
+
+import (
+	"errors"
+
+	"repro/internal/mat"
+)
+
+// ErrNotReady is returned when Backward is called before Forward.
+var ErrNotReady = errors.New("nn: backward called before forward")
+
+// Param is a trainable tensor and its gradient accumulator.
+type Param struct {
+	Name string
+	W    *mat.Matrix // value
+	G    *mat.Matrix // gradient, same shape as W
+}
+
+func newParam(name string, w *mat.Matrix) *Param {
+	return &Param{Name: name, W: w, G: mat.New(w.Rows(), w.Cols())}
+}
+
+// Layer is a differentiable module. Forward caches whatever Backward needs;
+// Backward consumes the gradient w.r.t. the layer output, accumulates
+// parameter gradients, and returns the gradient w.r.t. the layer input.
+type Layer interface {
+	// Name identifies the layer type for serialization.
+	Name() string
+	// OutputSize reports the number of output features for a given number of
+	// input features, used for shape validation when stacking.
+	OutputSize(inputSize int) (int, error)
+	// Forward computes the layer output for a batch.
+	Forward(x *mat.Matrix) (*mat.Matrix, error)
+	// Backward propagates gradients; must follow a Forward call.
+	Backward(gradOut *mat.Matrix) (*mat.Matrix, error)
+	// Params returns the trainable parameters (nil for stateless layers).
+	Params() []*Param
+}
+
+// ZeroGrads clears the gradient accumulators of all params.
+func ZeroGrads(params []*Param) {
+	for _, p := range params {
+		p.G.Zero()
+	}
+}

@@ -1,0 +1,303 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/mat"
+)
+
+// LSTM is a single recurrent layer unrolled over a fixed number of steps.
+//
+// Inputs and outputs are flattened over time: the input is a
+// (batch × steps·inputSize) matrix whose columns are grouped step-major
+// ([x_1 | x_2 | … | x_T]); the output is (batch × steps·hidden) when
+// ReturnSequences is set (for stacking) or (batch × hidden) holding the final
+// hidden state otherwise.
+//
+// Gate layout inside the packed weight matrices is [i | f | g | o].
+type LSTM struct {
+	inputSize  int
+	hidden     int
+	steps      int
+	returnSeqs bool
+
+	wx *Param // inputSize × 4·hidden
+	wh *Param // hidden × 4·hidden
+	b  *Param // 1 × 4·hidden
+
+	cache *lstmCache
+}
+
+type lstmCache struct {
+	batch int
+	xs    []*mat.Matrix // per-step inputs (batch × inputSize)
+	is    []*mat.Matrix // gate activations (batch × hidden) each
+	fs    []*mat.Matrix
+	gs    []*mat.Matrix
+	os    []*mat.Matrix
+	cs    []*mat.Matrix // cell states, cs[t] is c_t (t from 0)
+	hs    []*mat.Matrix // hidden states
+	tcs   []*mat.Matrix // tanh(c_t)
+}
+
+var _ Layer = (*LSTM)(nil)
+
+// NewLSTM constructs an LSTM layer. Forget-gate biases start at 1, the
+// standard trick that keeps early training gradients alive.
+func NewLSTM(rng *rand.Rand, inputSize, hidden, steps int, returnSeqs bool) *LSTM {
+	l := &LSTM{
+		inputSize:  inputSize,
+		hidden:     hidden,
+		steps:      steps,
+		returnSeqs: returnSeqs,
+		wx:         newParam("Wx", mat.GlorotUniform(rng, inputSize, 4*hidden, inputSize, hidden)),
+		wh:         newParam("Wh", mat.RecurrentUniform(rng, hidden, 4*hidden)),
+		b:          newParam("b", mat.New(1, 4*hidden)),
+	}
+	for j := hidden; j < 2*hidden; j++ { // forget gate block
+		l.b.W.Set(0, j, 1)
+	}
+	return l
+}
+
+// Name implements Layer.
+func (l *LSTM) Name() string { return "lstm" }
+
+// Steps returns the unroll length.
+func (l *LSTM) Steps() int { return l.steps }
+
+// Hidden returns the hidden-state width.
+func (l *LSTM) Hidden() int { return l.hidden }
+
+// InputSize returns the per-step feature count.
+func (l *LSTM) InputSize() int { return l.inputSize }
+
+// ReturnSequences reports whether the layer emits all hidden states.
+func (l *LSTM) ReturnSequences() bool { return l.returnSeqs }
+
+// OutputSize implements Layer.
+func (l *LSTM) OutputSize(inputSize int) (int, error) {
+	if inputSize != l.steps*l.inputSize {
+		return 0, fmt.Errorf("nn: lstm expects %d (=%d steps × %d features) inputs, got %d",
+			l.steps*l.inputSize, l.steps, l.inputSize, inputSize)
+	}
+	if l.returnSeqs {
+		return l.steps * l.hidden, nil
+	}
+	return l.hidden, nil
+}
+
+// Forward implements Layer.
+func (l *LSTM) Forward(x *mat.Matrix) (*mat.Matrix, error) {
+	if x.Cols() != l.steps*l.inputSize {
+		return nil, fmt.Errorf("nn: lstm forward: %d input cols, want %d", x.Cols(), l.steps*l.inputSize)
+	}
+	batch := x.Rows()
+	c := &lstmCache{
+		batch: batch,
+		xs:    make([]*mat.Matrix, l.steps),
+		is:    make([]*mat.Matrix, l.steps),
+		fs:    make([]*mat.Matrix, l.steps),
+		gs:    make([]*mat.Matrix, l.steps),
+		os:    make([]*mat.Matrix, l.steps),
+		cs:    make([]*mat.Matrix, l.steps),
+		hs:    make([]*mat.Matrix, l.steps),
+		tcs:   make([]*mat.Matrix, l.steps),
+	}
+	h := mat.New(batch, l.hidden)
+	cell := mat.New(batch, l.hidden)
+	var seqOut *mat.Matrix
+	if l.returnSeqs {
+		seqOut = mat.New(batch, l.steps*l.hidden)
+	}
+
+	for t := 0; t < l.steps; t++ {
+		xt, err := x.SliceCols(t*l.inputSize, (t+1)*l.inputSize)
+		if err != nil {
+			return nil, fmt.Errorf("nn: lstm forward step %d: %w", t, err)
+		}
+		c.xs[t] = xt
+
+		z, err := mat.MatMul(xt, l.wx.W)
+		if err != nil {
+			return nil, fmt.Errorf("nn: lstm forward Wx step %d: %w", t, err)
+		}
+		zh, err := mat.MatMul(h, l.wh.W)
+		if err != nil {
+			return nil, fmt.Errorf("nn: lstm forward Wh step %d: %w", t, err)
+		}
+		if err := z.AddInPlace(zh); err != nil {
+			return nil, err
+		}
+		if err := z.AddRowVector(l.b.W); err != nil {
+			return nil, err
+		}
+
+		H := l.hidden
+		it := gateSlice(z, 0, H, sigmoid)
+		ft := gateSlice(z, H, H, sigmoid)
+		gt := gateSlice(z, 2*H, H, math.Tanh)
+		ot := gateSlice(z, 3*H, H, sigmoid)
+
+		newCell := mat.New(batch, H)
+		for i := 0; i < batch; i++ {
+			cr, fr, ir, gr, nr := cell.Row(i), ft.Row(i), it.Row(i), gt.Row(i), newCell.Row(i)
+			for j := 0; j < H; j++ {
+				nr[j] = fr[j]*cr[j] + ir[j]*gr[j]
+			}
+		}
+		tc := newCell.Apply(math.Tanh)
+		newH, err := mat.Hadamard(ot, tc)
+		if err != nil {
+			return nil, err
+		}
+
+		c.is[t], c.fs[t], c.gs[t], c.os[t] = it, ft, gt, ot
+		c.cs[t], c.hs[t], c.tcs[t] = newCell, newH, tc
+		cell, h = newCell, newH
+
+		if l.returnSeqs {
+			if err := seqOut.SetCols(t*l.hidden, h); err != nil {
+				return nil, err
+			}
+		}
+	}
+	l.cache = c
+	if l.returnSeqs {
+		return seqOut, nil
+	}
+	return h.Clone(), nil
+}
+
+// gateSlice extracts columns [from, from+width) of z and applies fn.
+func gateSlice(z *mat.Matrix, from, width int, fn func(float64) float64) *mat.Matrix {
+	out := mat.New(z.Rows(), width)
+	for i := 0; i < z.Rows(); i++ {
+		zr := z.Row(i)[from : from+width]
+		or := out.Row(i)
+		for j, v := range zr {
+			or[j] = fn(v)
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *LSTM) Backward(gradOut *mat.Matrix) (*mat.Matrix, error) {
+	c := l.cache
+	if c == nil {
+		return nil, ErrNotReady
+	}
+	H, batch := l.hidden, c.batch
+
+	wantCols := H
+	if l.returnSeqs {
+		wantCols = l.steps * H
+	}
+	if gradOut.Rows() != batch || gradOut.Cols() != wantCols {
+		return nil, fmt.Errorf("nn: lstm backward: grad %dx%d, want %dx%d",
+			gradOut.Rows(), gradOut.Cols(), batch, wantCols)
+	}
+
+	gradX := mat.New(batch, l.steps*l.inputSize)
+	dhNext := mat.New(batch, H)
+	dcNext := mat.New(batch, H)
+	dz := mat.New(batch, 4*H)
+
+	for t := l.steps - 1; t >= 0; t-- {
+		// dh = upstream output grad at step t (if any) + recurrent grad.
+		dh := dhNext
+		if l.returnSeqs {
+			g, err := gradOut.SliceCols(t*H, (t+1)*H)
+			if err != nil {
+				return nil, err
+			}
+			if err := g.AddInPlace(dh); err != nil {
+				return nil, err
+			}
+			dh = g
+		} else if t == l.steps-1 {
+			g := gradOut.Clone()
+			if err := g.AddInPlace(dh); err != nil {
+				return nil, err
+			}
+			dh = g
+		}
+
+		var cPrev *mat.Matrix
+		if t > 0 {
+			cPrev = c.cs[t-1]
+		} else {
+			cPrev = mat.New(batch, H)
+		}
+
+		dcPrev := mat.New(batch, H)
+		dz.Zero()
+		for i := 0; i < batch; i++ {
+			dhr, dcr := dh.Row(i), dcNext.Row(i)
+			ir, fr, gr, or := c.is[t].Row(i), c.fs[t].Row(i), c.gs[t].Row(i), c.os[t].Row(i)
+			tcr, cpr := c.tcs[t].Row(i), cPrev.Row(i)
+			dzr := dz.Row(i)
+			dcpr := dcPrev.Row(i)
+			for j := 0; j < H; j++ {
+				// Total cell gradient: from h gate and from future cell.
+				dc := dcr[j] + dhr[j]*or[j]*(1-tcr[j]*tcr[j])
+				do := dhr[j] * tcr[j]
+				di := dc * gr[j]
+				df := dc * cpr[j]
+				dg := dc * ir[j]
+				// Pre-activation gradients.
+				dzr[0*H+j] = di * ir[j] * (1 - ir[j])
+				dzr[1*H+j] = df * fr[j] * (1 - fr[j])
+				dzr[2*H+j] = dg * (1 - gr[j]*gr[j])
+				dzr[3*H+j] = do * or[j] * (1 - or[j])
+				dcpr[j] = dc * fr[j]
+			}
+		}
+
+		// Parameter gradients.
+		gwx, err := mat.TMatMul(c.xs[t], dz)
+		if err != nil {
+			return nil, err
+		}
+		if err := l.wx.G.AddInPlace(gwx); err != nil {
+			return nil, err
+		}
+		var hPrev *mat.Matrix
+		if t > 0 {
+			hPrev = c.hs[t-1]
+		} else {
+			hPrev = mat.New(batch, H)
+		}
+		gwh, err := mat.TMatMul(hPrev, dz)
+		if err != nil {
+			return nil, err
+		}
+		if err := l.wh.G.AddInPlace(gwh); err != nil {
+			return nil, err
+		}
+		if err := l.b.G.AddInPlace(dz.SumRows()); err != nil {
+			return nil, err
+		}
+
+		// Input and recurrent gradients.
+		dxt, err := mat.MatMulT(dz, l.wx.W)
+		if err != nil {
+			return nil, err
+		}
+		if err := gradX.SetCols(t*l.inputSize, dxt); err != nil {
+			return nil, err
+		}
+		dhPrev, err := mat.MatMulT(dz, l.wh.W)
+		if err != nil {
+			return nil, err
+		}
+		dhNext, dcNext = dhPrev, dcPrev
+	}
+	return gradX, nil
+}
+
+// Params implements Layer.
+func (l *LSTM) Params() []*Param { return []*Param{l.wx, l.wh, l.b} }

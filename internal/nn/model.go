@@ -1,0 +1,171 @@
+package nn
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// Model is a feed-forward stack of layers with a classification loss.
+// The final layer emits logits; Predict applies softmax.
+type Model struct {
+	layers []Layer
+	loss   Loss
+	inSize int // expected input feature count
+}
+
+// NewModel builds a model from layers, validating that the layer shapes chain
+// correctly starting from inputSize features.
+func NewModel(inputSize int, loss Loss, layers ...Layer) (*Model, error) {
+	if len(layers) == 0 {
+		return nil, errors.New("nn: model needs at least one layer")
+	}
+	if loss == nil {
+		loss = CrossEntropy{}
+	}
+	size := inputSize
+	for i, l := range layers {
+		out, err := l.OutputSize(size)
+		if err != nil {
+			return nil, fmt.Errorf("nn: layer %d (%s): %w", i, l.Name(), err)
+		}
+		size = out
+	}
+	return &Model{layers: layers, loss: loss, inSize: inputSize}, nil
+}
+
+// InputSize returns the expected number of input features.
+func (m *Model) InputSize() int { return m.inSize }
+
+// OutputSize returns the number of classes (final logit width).
+func (m *Model) OutputSize() int {
+	size := m.inSize
+	for _, l := range m.layers {
+		size, _ = l.OutputSize(size)
+	}
+	return size
+}
+
+// Layers exposes the layer stack (used by serialization and tests).
+func (m *Model) Layers() []Layer { return m.layers }
+
+// Loss returns the configured training loss.
+func (m *Model) Loss() Loss { return m.loss }
+
+// SetLoss replaces the training loss (e.g. to retrain a baseline monitor with
+// the semantic loss).
+func (m *Model) SetLoss(l Loss) { m.loss = l }
+
+// Params returns all trainable parameters in layer order.
+func (m *Model) Params() []*Param {
+	var ps []*Param
+	for _, l := range m.layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Forward runs the stack and returns the logits.
+func (m *Model) Forward(x *mat.Matrix) (*mat.Matrix, error) {
+	if x.Cols() != m.inSize {
+		return nil, fmt.Errorf("nn: model forward: %d input cols, want %d", x.Cols(), m.inSize)
+	}
+	out := x
+	var err error
+	for i, l := range m.layers {
+		out, err = l.Forward(out)
+		if err != nil {
+			return nil, fmt.Errorf("nn: forward layer %d (%s): %w", i, l.Name(), err)
+		}
+	}
+	return out, nil
+}
+
+// Predict returns class probabilities (softmax of the logits).
+func (m *Model) Predict(x *mat.Matrix) (*mat.Matrix, error) {
+	logits, err := m.Forward(x)
+	if err != nil {
+		return nil, err
+	}
+	return Softmax(logits), nil
+}
+
+// PredictClasses returns the argmax class per row.
+func (m *Model) PredictClasses(x *mat.Matrix) ([]int, error) {
+	logits, err := m.Forward(x)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, logits.Rows())
+	for i := range out {
+		out[i] = logits.ArgmaxRow(i)
+	}
+	return out, nil
+}
+
+// backward pushes a logit gradient through the stack and returns the gradient
+// with respect to the model input.
+func (m *Model) backward(gradLogits *mat.Matrix) (*mat.Matrix, error) {
+	grad := gradLogits
+	var err error
+	for i := len(m.layers) - 1; i >= 0; i-- {
+		grad, err = m.layers[i].Backward(grad)
+		if err != nil {
+			return nil, fmt.Errorf("nn: backward layer %d (%s): %w", i, m.layers[i].Name(), err)
+		}
+	}
+	return grad, nil
+}
+
+// TrainBatch performs one optimization step on a batch and returns the batch
+// loss. knowledge may be nil for plain losses.
+func (m *Model) TrainBatch(x *mat.Matrix, labels []int, knowledge []float64, opt Optimizer) (float64, error) {
+	logits, err := m.Forward(x)
+	if err != nil {
+		return 0, err
+	}
+	loss, gradLogits, err := m.loss.Compute(logits, labels, knowledge)
+	if err != nil {
+		return 0, err
+	}
+	params := m.Params()
+	ZeroGrads(params)
+	if _, err := m.backward(gradLogits); err != nil {
+		return 0, err
+	}
+	if err := opt.Step(params); err != nil {
+		return 0, err
+	}
+	return loss, nil
+}
+
+// EvalLoss computes the loss on a batch without updating parameters.
+func (m *Model) EvalLoss(x *mat.Matrix, labels []int, knowledge []float64) (float64, error) {
+	logits, err := m.Forward(x)
+	if err != nil {
+		return 0, err
+	}
+	loss, _, err := m.loss.Compute(logits, labels, knowledge)
+	return loss, err
+}
+
+// InputGradient returns d(loss)/d(input) for a batch — the quantity FGSM
+// needs (Eq 4: ∆x = ε·sign(∇_x J(x, y))). Parameter gradients touched along
+// the way are zeroed before returning.
+func (m *Model) InputGradient(x *mat.Matrix, labels []int, knowledge []float64) (*mat.Matrix, error) {
+	logits, err := m.Forward(x)
+	if err != nil {
+		return nil, err
+	}
+	_, gradLogits, err := m.loss.Compute(logits, labels, knowledge)
+	if err != nil {
+		return nil, err
+	}
+	gradIn, err := m.backward(gradLogits)
+	if err != nil {
+		return nil, err
+	}
+	ZeroGrads(m.Params())
+	return gradIn, nil
+}

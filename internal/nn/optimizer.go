@@ -1,0 +1,113 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// Optimizer applies accumulated gradients to parameters.
+type Optimizer interface {
+	// Step updates every parameter from its gradient accumulator. Gradients
+	// are not cleared; callers zero them between batches.
+	Step(params []*Param) error
+}
+
+// SGD is plain stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+
+	velocity map[*Param]*mat.Matrix
+}
+
+var _ Optimizer = (*SGD)(nil)
+
+// NewSGD constructs an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, velocity: make(map[*Param]*mat.Matrix)}
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []*Param) error {
+	for _, p := range params {
+		if s.Momentum == 0 {
+			if err := p.W.AddScaled(-s.LR, p.G); err != nil {
+				return fmt.Errorf("nn: sgd step %q: %w", p.Name, err)
+			}
+			continue
+		}
+		v, ok := s.velocity[p]
+		if !ok {
+			v = mat.New(p.W.Rows(), p.W.Cols())
+			s.velocity[p] = v
+		}
+		v.Scale(s.Momentum)
+		if err := v.AddScaled(-s.LR, p.G); err != nil {
+			return fmt.Errorf("nn: sgd step %q: %w", p.Name, err)
+		}
+		if err := p.W.AddInPlace(v); err != nil {
+			return fmt.Errorf("nn: sgd step %q: %w", p.Name, err)
+		}
+	}
+	return nil
+}
+
+// Adam implements the Adam optimizer (Kingma & Ba) with bias correction,
+// matching the paper's training setup (default learning rate 0.001).
+// A non-zero WeightDecay applies decoupled decay (AdamW).
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	// WeightDecay is the decoupled L2 decay coefficient per step (AdamW);
+	// zero disables.
+	WeightDecay float64
+
+	t     int
+	state map[*Param]*adamState
+}
+
+type adamState struct {
+	m, v *mat.Matrix
+}
+
+var _ Optimizer = (*Adam)(nil)
+
+// NewAdam constructs an Adam optimizer with the standard hyperparameters
+// (β1=0.9, β2=0.999, ε=1e-8).
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, state: make(map[*Param]*adamState)}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []*Param) error {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		st, ok := a.state[p]
+		if !ok {
+			st = &adamState{
+				m: mat.New(p.W.Rows(), p.W.Cols()),
+				v: mat.New(p.W.Rows(), p.W.Cols()),
+			}
+			a.state[p] = st
+		}
+		w, g := p.W.Data(), p.G.Data()
+		m, v := st.m.Data(), st.v.Data()
+		if len(g) != len(w) {
+			return fmt.Errorf("nn: adam step %q: grad/weight length mismatch", p.Name)
+		}
+		for i, gi := range g {
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*gi
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*gi*gi
+			mHat := m[i] / bc1
+			vHat := v[i] / bc2
+			w[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+			if a.WeightDecay > 0 {
+				w[i] -= a.LR * a.WeightDecay * w[i]
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/mat"
+)
+
+// modelSpec is the on-disk JSON representation of a Model.
+type modelSpec struct {
+	InputSize int         `json:"inputSize"`
+	Loss      lossSpec    `json:"loss"`
+	Layers    []layerSpec `json:"layers"`
+}
+
+type lossSpec struct {
+	Name        string  `json:"name"`
+	Weight      float64 `json:"weight,omitempty"`
+	UnsafeClass int     `json:"unsafeClass,omitempty"`
+}
+
+type layerSpec struct {
+	Type string `json:"type"`
+
+	// Dense.
+	In  int `json:"in,omitempty"`
+	Out int `json:"out,omitempty"`
+
+	// LSTM.
+	InputSize  int  `json:"inputSizePerStep,omitempty"`
+	Hidden     int  `json:"hidden,omitempty"`
+	Steps      int  `json:"steps,omitempty"`
+	ReturnSeqs bool `json:"returnSequences,omitempty"`
+
+	Params []paramSpec `json:"params,omitempty"`
+}
+
+type paramSpec struct {
+	Name string    `json:"name"`
+	Rows int       `json:"rows"`
+	Cols int       `json:"cols"`
+	Data []float64 `json:"data"`
+}
+
+// Save writes the model architecture and weights as JSON.
+func (m *Model) Save(w io.Writer) error {
+	spec := modelSpec{InputSize: m.inSize}
+	switch l := m.loss.(type) {
+	case SemanticLoss:
+		spec.Loss = lossSpec{Name: l.LossName(), Weight: l.Weight, UnsafeClass: l.UnsafeClass}
+	default:
+		spec.Loss = lossSpec{Name: m.loss.LossName()}
+	}
+	for _, layer := range m.layers {
+		ls := layerSpec{Type: layer.Name()}
+		switch v := layer.(type) {
+		case *Dense:
+			ls.In, ls.Out = v.in, v.out
+		case *LSTM:
+			ls.InputSize, ls.Hidden, ls.Steps, ls.ReturnSeqs = v.inputSize, v.hidden, v.steps, v.returnSeqs
+		case *ReLU, *Tanh, *Sigmoid:
+			// No shape parameters.
+		default:
+			return fmt.Errorf("nn: cannot serialize layer type %q", layer.Name())
+		}
+		for _, p := range layer.Params() {
+			ls.Params = append(ls.Params, paramSpec{
+				Name: p.Name,
+				Rows: p.W.Rows(),
+				Cols: p.W.Cols(),
+				Data: append([]float64(nil), p.W.Data()...),
+			})
+		}
+		spec.Layers = append(spec.Layers, ls)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(spec)
+}
+
+// Load reads a model saved with Save.
+func Load(r io.Reader) (*Model, error) {
+	var spec modelSpec
+	if err := json.NewDecoder(r).Decode(&spec); err != nil {
+		return nil, fmt.Errorf("nn: load: %w", err)
+	}
+	rng := rand.New(rand.NewSource(0)) // weights are overwritten below
+	layers := make([]Layer, 0, len(spec.Layers))
+	for i, ls := range spec.Layers {
+		var layer Layer
+		switch ls.Type {
+		case "dense":
+			layer = NewDense(rng, ls.In, ls.Out)
+		case "relu":
+			layer = NewReLU()
+		case "tanh":
+			layer = NewTanh()
+		case "sigmoid":
+			layer = NewSigmoid()
+		case "lstm":
+			layer = NewLSTM(rng, ls.InputSize, ls.Hidden, ls.Steps, ls.ReturnSeqs)
+		default:
+			return nil, fmt.Errorf("nn: load: unknown layer type %q at index %d", ls.Type, i)
+		}
+		params := layer.Params()
+		if len(params) != len(ls.Params) {
+			return nil, fmt.Errorf("nn: load: layer %d (%s) has %d params, spec has %d",
+				i, ls.Type, len(params), len(ls.Params))
+		}
+		for j, ps := range ls.Params {
+			w, err := mat.FromSlice(ps.Rows, ps.Cols, ps.Data)
+			if err != nil {
+				return nil, fmt.Errorf("nn: load: layer %d param %q: %w", i, ps.Name, err)
+			}
+			if err := params[j].W.CopyFrom(w); err != nil {
+				return nil, fmt.Errorf("nn: load: layer %d param %q: %w", i, ps.Name, err)
+			}
+		}
+		layers = append(layers, layer)
+	}
+	var loss Loss
+	switch spec.Loss.Name {
+	case "semantic":
+		loss = SemanticLoss{Weight: spec.Loss.Weight, UnsafeClass: spec.Loss.UnsafeClass}
+	case "cross_entropy", "":
+		loss = CrossEntropy{}
+	default:
+		return nil, fmt.Errorf("nn: load: unknown loss %q", spec.Loss.Name)
+	}
+	return NewModel(spec.InputSize, loss, layers...)
+}
+
+// Clone deep-copies a model (architecture, weights and loss) via the
+// serialization round trip.
+func (m *Model) Clone() (*Model, error) {
+	pr, pw := io.Pipe()
+	errc := make(chan error, 1)
+	go func() {
+		errc <- m.Save(pw)
+		pw.Close()
+	}()
+	clone, err := Load(pr)
+	if err != nil {
+		return nil, err
+	}
+	if serr := <-errc; serr != nil {
+		return nil, serr
+	}
+	return clone, nil
+}

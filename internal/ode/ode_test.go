@@ -1,0 +1,127 @@
+package ode
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// exponential decay dy/dt = -y has exact solution y0·e^{-t}.
+func decay(_ float64, y, dydt []float64) { dydt[0] = -y[0] }
+
+func TestRK4ExponentialDecay(t *testing.T) {
+	in := New(RK4)
+	y := []float64{1}
+	in.Integrate(decay, 0, 2, 0.1, y)
+	want := math.Exp(-2)
+	if math.Abs(y[0]-want) > 1e-6 {
+		t.Fatalf("RK4 decay = %v, want %v", y[0], want)
+	}
+}
+
+func TestEulerExponentialDecayConverges(t *testing.T) {
+	in := New(Euler)
+	y := []float64{1}
+	in.Integrate(decay, 0, 2, 0.001, y)
+	want := math.Exp(-2)
+	if math.Abs(y[0]-want) > 1e-3 {
+		t.Fatalf("Euler decay = %v, want %v", y[0], want)
+	}
+}
+
+func TestRK4FourthOrderAccuracy(t *testing.T) {
+	// Halving the step should reduce RK4 error by ~16x.
+	errAt := func(h float64) float64 {
+		in := New(RK4)
+		y := []float64{1}
+		in.Integrate(decay, 0, 1, h, y)
+		return math.Abs(y[0] - math.Exp(-1))
+	}
+	e1, e2 := errAt(0.2), errAt(0.1)
+	if e2 <= 0 {
+		t.Skip("error underflow")
+	}
+	ratio := e1 / e2
+	if ratio < 8 { // generous bound; exact order gives ~16
+		t.Fatalf("RK4 error ratio %v, want ≥ 8 (4th order)", ratio)
+	}
+}
+
+func TestHarmonicOscillatorEnergy(t *testing.T) {
+	// y'' = -y as a system; RK4 should keep energy nearly constant over a
+	// few periods.
+	f := func(_ float64, y, dydt []float64) {
+		dydt[0] = y[1]
+		dydt[1] = -y[0]
+	}
+	in := New(RK4)
+	y := []float64{1, 0}
+	in.Integrate(f, 0, 4*math.Pi, 0.01, y)
+	energy := y[0]*y[0] + y[1]*y[1]
+	if math.Abs(energy-1) > 1e-6 {
+		t.Fatalf("energy drift: %v", energy)
+	}
+	if math.Abs(y[0]-1) > 1e-5 || math.Abs(y[1]) > 1e-5 {
+		t.Fatalf("after two periods y = %v, want [1 0]", y)
+	}
+}
+
+func TestIntegrateHitsEndpointExactly(t *testing.T) {
+	// Uneven final step: total time 1 with max step 0.3.
+	var calls int
+	f := func(_ float64, y, dydt []float64) {
+		calls++
+		dydt[0] = 1
+	}
+	in := New(Euler)
+	y := []float64{0}
+	in.Integrate(f, 0, 1, 0.3, y)
+	if math.Abs(y[0]-1) > 1e-12 {
+		t.Fatalf("∫1 dt over [0,1] = %v, want 1", y[0])
+	}
+	if calls != 4 { // 0.3+0.3+0.3+0.1
+		t.Fatalf("calls = %d, want 4", calls)
+	}
+}
+
+func TestIntegrateDegenerateArgs(t *testing.T) {
+	in := New(RK4)
+	y := []float64{5}
+	in.Integrate(decay, 1, 1, 0.1, y) // t1 == t0
+	if y[0] != 5 {
+		t.Fatal("zero-length integration must not change state")
+	}
+	in.Integrate(decay, 0, 1, 0, y) // non-positive step
+	if y[0] != 5 {
+		t.Fatal("non-positive step must be a no-op")
+	}
+}
+
+func TestLinearGrowthExactForBothMethods(t *testing.T) {
+	// dy/dt = c is integrated exactly by both schemes.
+	f := func(seed int64) bool {
+		c := float64(seed%1000) / 100
+		sys := func(_ float64, y, dydt []float64) { dydt[0] = c }
+		for _, m := range []Method{Euler, RK4} {
+			in := New(m)
+			y := []float64{0}
+			in.Integrate(sys, 0, 3, 0.25, y)
+			if math.Abs(y[0]-3*c) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if Euler.String() != "euler" || RK4.String() != "rk4" {
+		t.Fatal("Method.String broken")
+	}
+	if Method(99).String() != "Method(99)" {
+		t.Fatal("unknown method string")
+	}
+}

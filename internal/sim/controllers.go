@@ -1,0 +1,34 @@
+package sim
+
+import (
+	"repro/internal/controller"
+	"repro/internal/patient"
+)
+
+// tdd estimates a patient's total daily insulin dose from the basal rate
+// (basal insulin is roughly half the TDD).
+func tdd(basal float64) float64 { return 2 * 24 * basal }
+
+// controllerForGlucosym tunes an OpenAPS controller to a Glucosym patient:
+// target the patient's basal glucose and size the insulin sensitivity factor
+// with the clinical "1800 rule" (ISF = 1800/TDD).
+func controllerForGlucosym(p *patient.Glucosym) *controller.OpenAPS {
+	basal := p.BasalRate()
+	c := controller.NewOpenAPS(basal)
+	c.TargetBG = p.Params().Gb
+	c.ISF = 1800 / tdd(basal)
+	c.MaxTempFactor = 6
+	c.MomentumHorizonMin = 30
+	return c
+}
+
+// controllerForT1DS tunes a Basal-Bolus controller to a T1DS patient using
+// the clinical "500 rule" (CR = 500/TDD) and "1800 rule" (ISF = 1800/TDD).
+func controllerForT1DS(p *patient.T1DS) *controller.BasalBolus {
+	basal := p.BasalRate()
+	c := controller.NewBasalBolus(basal)
+	c.TargetBG = p.Params().GTarget * 18
+	c.CarbRatio = 500 / tdd(basal)
+	c.ISF = 1800 / tdd(basal)
+	return c
+}

@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// FaultType enumerates the pump/controller fault and attack modes injected to
+// generate unsafe control actions (the anomalies the monitors must detect).
+// They mirror the recalled insulin-pump failure modes the paper cites:
+// remote attackers overwriting control commands and pumps delivering
+// incorrect dosages.
+type FaultType int
+
+const (
+	// FaultOverdose multiplies the commanded rate by Magnitude (> 1).
+	FaultOverdose FaultType = iota + 1
+	// FaultUnderdose multiplies the commanded rate by Magnitude (< 1).
+	FaultUnderdose
+	// FaultSuspend forces the delivered rate to zero.
+	FaultSuspend
+	// FaultStuck freezes the delivered rate at its value when the fault
+	// began.
+	FaultStuck
+	// FaultMax forces the delivered rate to Magnitude U/h regardless of the
+	// command (e.g. a hijacked pump at maximum rate).
+	FaultMax
+)
+
+// String implements fmt.Stringer.
+func (f FaultType) String() string {
+	switch f {
+	case FaultOverdose:
+		return "overdose"
+	case FaultUnderdose:
+		return "underdose"
+	case FaultSuspend:
+		return "suspend"
+	case FaultStuck:
+		return "stuck"
+	case FaultMax:
+		return "max_rate"
+	default:
+		return fmt.Sprintf("FaultType(%d)", int(f))
+	}
+}
+
+// Fault is an injected perturbation of the issued control commands over a
+// step interval.
+type Fault struct {
+	Type      FaultType
+	StartStep int
+	Duration  int // steps
+	Magnitude float64
+}
+
+// Active reports whether the fault affects the given step.
+func (f Fault) Active(step int) bool {
+	return step >= f.StartStep && step < f.StartStep+f.Duration
+}
+
+// Apply transforms the commanded rate at step. stuckRate is the delivered
+// rate at the step the fault began (used by FaultStuck).
+func (f Fault) Apply(step int, commanded, stuckRate float64) float64 {
+	if !f.Active(step) {
+		return commanded
+	}
+	switch f.Type {
+	case FaultOverdose, FaultUnderdose:
+		return commanded * f.Magnitude
+	case FaultSuspend:
+		return 0
+	case FaultStuck:
+		return stuckRate
+	case FaultMax:
+		return f.Magnitude
+	default:
+		return commanded
+	}
+}
+
+// RandomFault draws a fault scenario for an episode of the given length,
+// using rng. Fault onset avoids the first windup steps so monitors see some
+// nominal prefix; magnitudes span the severities that produce hazards in the
+// simulators without being trivially detectable from a single sample.
+func RandomFault(rng *rand.Rand, steps int) Fault {
+	types := []FaultType{FaultOverdose, FaultUnderdose, FaultSuspend, FaultStuck, FaultMax}
+	ft := types[rng.Intn(len(types))]
+	minStart := steps / 8
+	if minStart < 8 {
+		minStart = 8
+	}
+	maxStart := steps / 2
+	if maxStart <= minStart {
+		maxStart = minStart + 1
+	}
+	start := minStart + rng.Intn(maxStart-minStart)
+	dur := steps/4 + rng.Intn(steps/4+1)
+	f := Fault{Type: ft, StartStep: start, Duration: dur}
+	switch ft {
+	case FaultOverdose:
+		f.Magnitude = 2.5 + 3*rng.Float64()
+	case FaultUnderdose:
+		f.Magnitude = 0.3 * rng.Float64()
+	case FaultMax:
+		f.Magnitude = 5 + 5*rng.Float64()
+	}
+	return f
+}

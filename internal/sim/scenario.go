@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/patient"
+)
+
+// RandomMeals draws a realistic meal scenario for an episode spanning
+// totalMin minutes: a meal roughly every 4–6 hours of 30–80 g absorbed over
+// 10–20 minutes, starting 30–90 minutes into the episode.
+func RandomMeals(rng *rand.Rand, totalMin float64) patient.MealSchedule {
+	var meals patient.MealSchedule
+	t := 30 + 60*rng.Float64()
+	for t < totalMin {
+		meals = append(meals, patient.Meal{
+			StartMin:    t,
+			Grams:       25 + 35*rng.Float64(),
+			DurationMin: 10 + 10*rng.Float64(),
+		})
+		t += 240 + 120*rng.Float64()
+	}
+	return meals
+}
+
+// EpisodeConfig bundles the knobs a campaign varies per episode.
+type EpisodeConfig struct {
+	ProfileID int
+	Seed      int64
+	Faulty    bool
+}
+
+// BuildGlucosymEpisode constructs a Config pairing a Glucosym patient with an
+// OpenAPS controller, as in the paper's first case study.
+func BuildGlucosymEpisode(ec EpisodeConfig, steps int) (Config, error) {
+	p, err := patient.NewGlucosymProfile(ec.ProfileID)
+	if err != nil {
+		return Config{}, err
+	}
+	rng := rand.New(rand.NewSource(ec.Seed))
+	cfg := Config{
+		Patient:    p,
+		Controller: controllerForGlucosym(p),
+		StepMin:    5,
+		Steps:      steps,
+		Meals:      RandomMeals(rng, float64(steps)*5),
+		Seed:       ec.Seed + 7919,
+	}
+	if ec.Faulty {
+		f := RandomFault(rng, steps)
+		cfg.Fault = &f
+	}
+	return cfg, nil
+}
+
+// BuildT1DSEpisode constructs a Config pairing a T1DS patient with a
+// Basal-Bolus controller, as in the paper's second case study.
+func BuildT1DSEpisode(ec EpisodeConfig, steps int) (Config, error) {
+	p, err := patient.NewT1DSProfile(ec.ProfileID)
+	if err != nil {
+		return Config{}, err
+	}
+	rng := rand.New(rand.NewSource(ec.Seed))
+	cfg := Config{
+		Patient:       p,
+		Controller:    controllerForT1DS(p),
+		StepMin:       5,
+		Steps:         steps,
+		Meals:         RandomMeals(rng, float64(steps)*5),
+		AnnounceMeals: true,
+		Seed:          ec.Seed + 104729,
+	}
+	if ec.Faulty {
+		f := RandomFault(rng, steps)
+		cfg.Fault = &f
+	}
+	return cfg, nil
+}

@@ -1,0 +1,65 @@
+package sim
+
+import "math/rand"
+
+// CGMModel simulates a continuous glucose monitor beyond additive white
+// noise: first-order interstitial lag (sensor glucose trails plasma glucose
+// by several minutes), slowly drifting calibration bias, and occasional
+// dropout (the sensor repeats its last reading).
+//
+// The zero value behaves as an ideal sensor plus the white noise configured
+// on the engine; enable the physiological effects per field. Configure via
+// Config.Sensor.
+type CGMModel struct {
+	// LagMin is the interstitial first-order time constant in minutes
+	// (typical 8–12; 0 disables).
+	LagMin float64
+	// DriftStd is the per-step random-walk step of the calibration bias in
+	// mg/dL (typical 0.1–0.3; 0 disables). The bias is softly pulled back
+	// toward zero so it stays bounded over long episodes.
+	DriftStd float64
+	// DropoutProb is the chance a reading is lost and the previous one is
+	// repeated (0 disables).
+	DropoutProb float64
+
+	state   float64 // lagged sensor glucose
+	bias    float64
+	last    float64
+	started bool
+}
+
+// Reset clears sensor state between episodes.
+func (c *CGMModel) Reset() {
+	c.state, c.bias, c.last, c.started = 0, 0, 0, false
+}
+
+// Read produces the sensor value for a true plasma glucose, advancing the
+// internal state by dt minutes. rng drives drift and dropout; noiseStd is
+// the white measurement noise applied on top.
+func (c *CGMModel) Read(rng *rand.Rand, trueBG, dt, noiseStd float64) float64 {
+	if !c.started {
+		c.state = trueBG
+		c.started = true
+	}
+	// First-order lag toward the plasma value.
+	if c.LagMin > 0 && dt > 0 {
+		alpha := dt / (c.LagMin + dt)
+		c.state += alpha * (trueBG - c.state)
+	} else {
+		c.state = trueBG
+	}
+	// Bounded random-walk calibration bias.
+	if c.DriftStd > 0 {
+		c.bias = 0.995*c.bias + rng.NormFloat64()*c.DriftStd
+	}
+	// Dropout repeats the previous reading.
+	if c.DropoutProb > 0 && rng.Float64() < c.DropoutProb && c.last > 0 {
+		return c.last
+	}
+	v := c.state + c.bias + rng.NormFloat64()*noiseStd
+	if v < 0 {
+		v = 0
+	}
+	c.last = v
+	return v
+}

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCGMLagTrailsStepChange(t *testing.T) {
+	c := &CGMModel{LagMin: 10}
+	rng := rand.New(rand.NewSource(1))
+	// Settle at 100, then step the plasma value to 200.
+	for i := 0; i < 50; i++ {
+		c.Read(rng, 100, 5, 0)
+	}
+	first := c.Read(rng, 200, 5, 0)
+	if first >= 200 || first <= 100 {
+		t.Fatalf("lagged reading = %v, want strictly between 100 and 200", first)
+	}
+	// Converges to the new value.
+	var last float64
+	for i := 0; i < 50; i++ {
+		last = c.Read(rng, 200, 5, 0)
+	}
+	if math.Abs(last-200) > 1 {
+		t.Fatalf("lag did not converge: %v", last)
+	}
+}
+
+func TestCGMNoLagTracksExactly(t *testing.T) {
+	c := &CGMModel{}
+	rng := rand.New(rand.NewSource(2))
+	if got := c.Read(rng, 150, 5, 0); got != 150 {
+		t.Fatalf("ideal sensor read = %v, want 150", got)
+	}
+}
+
+func TestCGMDriftBounded(t *testing.T) {
+	c := &CGMModel{DriftStd: 0.3}
+	rng := rand.New(rand.NewSource(3))
+	maxDev := 0.0
+	for i := 0; i < 5000; i++ {
+		v := c.Read(rng, 120, 5, 0)
+		if d := math.Abs(v - 120); d > maxDev {
+			maxDev = d
+		}
+	}
+	// Random walk with 0.995 pullback has stationary std ≈ 0.3/√(1−0.995²) ≈ 3.
+	if maxDev > 15 {
+		t.Fatalf("calibration drift unbounded: max deviation %v", maxDev)
+	}
+	if maxDev < 0.5 {
+		t.Fatalf("drift produced no deviation: %v", maxDev)
+	}
+}
+
+func TestCGMDropoutRepeatsLastReading(t *testing.T) {
+	c := &CGMModel{DropoutProb: 1} // every reading after the first drops
+	rng := rand.New(rand.NewSource(4))
+	first := c.Read(rng, 100, 5, 0)
+	second := c.Read(rng, 250, 5, 0)
+	if second != first {
+		t.Fatalf("dropout should repeat %v, got %v", first, second)
+	}
+}
+
+func TestCGMResetClearsState(t *testing.T) {
+	c := &CGMModel{LagMin: 10}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 20; i++ {
+		c.Read(rng, 300, 5, 0)
+	}
+	c.Reset()
+	if got := c.Read(rng, 100, 5, 0); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("after Reset first read = %v, want 100", got)
+	}
+}
+
+func TestEngineWithCGMModel(t *testing.T) {
+	cfg, err := BuildGlucosymEpisode(EpisodeConfig{ProfileID: 5, Seed: 33}, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Sensor = &CGMModel{LagMin: 10, DriftStd: 0.2, DropoutProb: 0.02}
+	tr, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loop still regulates: no runaway despite sensor imperfections.
+	hazards := len(tr.HazardSteps())
+	if float64(hazards) > 0.4*float64(len(tr.Records)) {
+		t.Fatalf("lagged sensor destabilized the loop: %d/%d hazards", hazards, len(tr.Records))
+	}
+	// And the CGM is not identical to the plasma value (lag visible).
+	diffs := 0
+	for _, r := range tr.Records {
+		if math.Abs(r.CGM-r.TrueBG) > 0.5 {
+			diffs++
+		}
+	}
+	if diffs < len(tr.Records)/4 {
+		t.Fatalf("sensor model had no visible effect (%d/%d differing)", diffs, len(tr.Records))
+	}
+}

@@ -1,0 +1,77 @@
+package stl
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// FromCSV reads a trace from CSV: the header row names the signals and each
+// subsequent row is one sampled step. Columns that contain any non-numeric
+// cell (e.g. the action-name column exported by cmd/apsim -csv) are dropped
+// as a whole, so exported traces load directly.
+func FromCSV(r io.Reader) (*MapTrace, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	cr.Comment = '#' // apsim -csv prefixes fault metadata as comments
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("stl: read csv header: %w", err)
+	}
+	if len(header) == 0 {
+		return nil, fmt.Errorf("stl: empty csv header")
+	}
+	cols := make([][]float64, len(header))
+	numeric := make([]bool, len(header))
+	for i := range numeric {
+		numeric[i] = true
+	}
+	rows := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("stl: read csv row %d: %w", rows+1, err)
+		}
+		for i := range header {
+			if !numeric[i] {
+				continue
+			}
+			if i >= len(rec) {
+				numeric[i] = false
+				continue
+			}
+			v, perr := strconv.ParseFloat(rec[i], 64)
+			if perr != nil {
+				// Accept boolean columns as 0/1.
+				switch rec[i] {
+				case "true":
+					v = 1
+				case "false":
+					v = 0
+				default:
+					numeric[i] = false
+					continue
+				}
+			}
+			cols[i] = append(cols[i], v)
+		}
+		rows++
+	}
+	if rows == 0 {
+		return nil, fmt.Errorf("stl: csv has no data rows")
+	}
+	signals := make(map[string][]float64)
+	for i, name := range header {
+		if numeric[i] && len(cols[i]) == rows {
+			signals[name] = cols[i]
+		}
+	}
+	if len(signals) == 0 {
+		return nil, fmt.Errorf("stl: csv has no fully-numeric columns")
+	}
+	return &MapTrace{Signals: signals}, nil
+}

@@ -1,0 +1,117 @@
+package stl
+
+import (
+	"fmt"
+
+	"repro/internal/controller"
+)
+
+// Hazard is the hazard class a safety rule guards against.
+type Hazard int
+
+const (
+	// H1: too much insulin is infused, reducing BG toward hypoglycemia.
+	H1 Hazard = iota + 1
+	// H2: too little insulin is infused, raising BG toward hyperglycemia.
+	H2
+)
+
+// String implements fmt.Stringer.
+func (h Hazard) String() string {
+	switch h {
+	case H1:
+		return "H1(hypoglycemia)"
+	case H2:
+		return "H2(hyperglycemia)"
+	default:
+		return fmt.Sprintf("Hazard(%d)", int(h))
+	}
+}
+
+// Signal names used by the APS safety rules. Windows aggregated by the
+// monitor feature extractor expose exactly these.
+const (
+	SignalBG       = "BG"   // blood glucose (mg/dL)
+	SignalDeltaBG  = "BG'"  // dBG/dt (mg/dL/min)
+	SignalDeltaIOB = "IOB'" // dIOB/dt (U/min)
+	SignalAction   = "u"    // control action code (controller.Action)
+)
+
+// Rule is one context-dependent unsafe-control-action specification from
+// Table I: if Formula holds for the current system context and issued
+// control action, the action is potentially unsafe and may lead to Implied.
+type Rule struct {
+	ID      int
+	Formula Formula
+	Implied Hazard
+}
+
+// DeltaEps is the tolerance band used for the IOB' == 0 predicates: sampled
+// derivatives are never exactly zero.
+const DeltaEps = 1e-3
+
+// DeltaBGEps is the trend deadband (mg/dL/min) for the BG' > 0 / BG' < 0
+// predicates: CGM measurement noise makes the sampled derivative jitter
+// around ±0.3 mg/dL/min, so a literal zero threshold fires the rules on
+// noise rather than on real trends.
+const DeltaBGEps = 0.3
+
+// APSRules instantiates the twelve Table I specifications for a glucose
+// target bgt (the BGT constant in the paper's formulas).
+func APSRules(bgt float64) []Rule {
+	bgHigh := Atom{Signal: SignalBG, Op: OpGT, Threshold: bgt}
+	bgLow := Atom{Signal: SignalBG, Op: OpLT, Threshold: bgt}
+	bgRising := Atom{Signal: SignalDeltaBG, Op: OpGT, Threshold: DeltaBGEps}
+	bgFalling := Atom{Signal: SignalDeltaBG, Op: OpLT, Threshold: -DeltaBGEps}
+	iobRising := Atom{Signal: SignalDeltaIOB, Op: OpGT, Threshold: DeltaEps}
+	iobFalling := Atom{Signal: SignalDeltaIOB, Op: OpLT, Threshold: -DeltaEps}
+	iobFlat := Atom{Signal: SignalDeltaIOB, Op: OpEQ, Threshold: 0, Eps: DeltaEps}
+	iobNotRising := Atom{Signal: SignalDeltaIOB, Op: OpLE, Threshold: DeltaEps}
+	iobNotFalling := Atom{Signal: SignalDeltaIOB, Op: OpGE, Threshold: -DeltaEps}
+	u := func(a controller.Action) Atom {
+		return Atom{Signal: SignalAction, Op: OpEQ, Threshold: float64(a), Eps: 0.5}
+	}
+	hypo := Atom{Signal: SignalBG, Op: OpLT, Threshold: 70}
+
+	return []Rule{
+		{1, NewAnd(bgHigh, bgRising, iobFalling, u(controller.ActionDecrease)), H2},
+		{2, NewAnd(bgHigh, bgRising, iobFlat, u(controller.ActionDecrease)), H2},
+		{3, NewAnd(bgHigh, bgFalling, iobRising, u(controller.ActionDecrease)), H2},
+		{4, NewAnd(bgHigh, bgFalling, iobFalling, u(controller.ActionDecrease)), H2},
+		{5, NewAnd(bgHigh, bgFalling, iobFlat, u(controller.ActionDecrease)), H2},
+		{6, NewAnd(bgLow, bgFalling, iobRising, u(controller.ActionIncrease)), H1},
+		{7, NewAnd(bgLow, bgFalling, iobFalling, u(controller.ActionIncrease)), H1},
+		{8, NewAnd(bgLow, bgFalling, iobFlat, u(controller.ActionIncrease)), H1},
+		{9, NewAnd(bgHigh, u(controller.ActionStop)), H2},
+		{10, NewAnd(hypo, Not{u(controller.ActionStop)}), H1},
+		{11, NewAnd(bgHigh, bgRising, iobNotRising, u(controller.ActionKeep)), H2},
+		{12, NewAnd(bgLow, bgFalling, iobNotFalling, u(controller.ActionKeep)), H1},
+	}
+}
+
+// EvalRules reports whether any rule fires at step, together with the IDs of
+// the fired rules.
+func EvalRules(rules []Rule, tr Trace, step int) (bool, []int, error) {
+	var fired []int
+	for _, r := range rules {
+		v, err := r.Formula.Eval(tr, step)
+		if err != nil {
+			return false, nil, fmt.Errorf("rule %d: %w", r.ID, err)
+		}
+		if v {
+			fired = append(fired, r.ID)
+		}
+	}
+	return len(fired) > 0, fired, nil
+}
+
+// ContextTrace builds the single-step trace the rules are evaluated on from
+// one aggregated window: f(µ(X_t)) in Eq (2) of the paper.
+func ContextTrace(bg, dBG, dIOB float64, action controller.Action) Trace {
+	return &MapTrace{Signals: map[string][]float64{
+		SignalBG:       {bg},
+		SignalDeltaBG:  {dBG},
+		SignalDeltaIOB: {dIOB},
+		SignalAction:   {float64(action)},
+	}}
+}

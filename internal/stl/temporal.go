@@ -1,0 +1,175 @@
+package stl
+
+import (
+	"fmt"
+	"math"
+)
+
+// window clamps the interval [step+lo, step+hi] to the trace and reports the
+// usable range. An interval entirely outside the trace is an error.
+func window(tr Trace, step, lo, hi int) (from, to int, err error) {
+	from, to = step+lo, step+hi
+	n := tr.Len()
+	if to >= n {
+		to = n - 1
+	}
+	if from < 0 {
+		from = 0
+	}
+	if from > to || from >= n {
+		return 0, 0, fmt.Errorf("stl: interval [%d,%d] at step %d outside trace of %d steps", lo, hi, step, n)
+	}
+	return from, to, nil
+}
+
+// Eventually is F[lo,hi] F: the operand holds at some step in the interval.
+type Eventually struct {
+	Lo, Hi int
+	F      Formula
+}
+
+var _ Formula = Eventually{}
+
+// String implements fmt.Stringer.
+func (e Eventually) String() string {
+	return fmt.Sprintf("F[%d,%d](%s)", e.Lo, e.Hi, e.F)
+}
+
+// Eval implements Formula.
+func (e Eventually) Eval(tr Trace, step int) (bool, error) {
+	from, to, err := window(tr, step, e.Lo, e.Hi)
+	if err != nil {
+		return false, err
+	}
+	for t := from; t <= to; t++ {
+		v, err := e.F.Eval(tr, t)
+		if err != nil {
+			return false, err
+		}
+		if v {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Robustness implements Formula (max over the interval).
+func (e Eventually) Robustness(tr Trace, step int) (float64, error) {
+	from, to, err := window(tr, step, e.Lo, e.Hi)
+	if err != nil {
+		return 0, err
+	}
+	best := math.Inf(-1)
+	for t := from; t <= to; t++ {
+		r, err := e.F.Robustness(tr, t)
+		if err != nil {
+			return 0, err
+		}
+		if r > best {
+			best = r
+		}
+	}
+	return best, nil
+}
+
+// Globally is G[lo,hi] F: the operand holds at every step in the interval.
+type Globally struct {
+	Lo, Hi int
+	F      Formula
+}
+
+var _ Formula = Globally{}
+
+// String implements fmt.Stringer.
+func (g Globally) String() string {
+	return fmt.Sprintf("G[%d,%d](%s)", g.Lo, g.Hi, g.F)
+}
+
+// Eval implements Formula.
+func (g Globally) Eval(tr Trace, step int) (bool, error) {
+	from, to, err := window(tr, step, g.Lo, g.Hi)
+	if err != nil {
+		return false, err
+	}
+	for t := from; t <= to; t++ {
+		v, err := g.F.Eval(tr, t)
+		if err != nil {
+			return false, err
+		}
+		if !v {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Robustness implements Formula (min over the interval).
+func (g Globally) Robustness(tr Trace, step int) (float64, error) {
+	from, to, err := window(tr, step, g.Lo, g.Hi)
+	if err != nil {
+		return 0, err
+	}
+	worst := math.Inf(1)
+	for t := from; t <= to; t++ {
+		r, err := g.F.Robustness(tr, t)
+		if err != nil {
+			return 0, err
+		}
+		if r < worst {
+			worst = r
+		}
+	}
+	return worst, nil
+}
+
+// Until is L U[lo,hi] R: R holds at some step t′ in the interval, and L holds
+// at every step from the evaluation point up to (but excluding) t′.
+type Until struct {
+	Lo, Hi int
+	L, R   Formula
+}
+
+var _ Formula = Until{}
+
+// String implements fmt.Stringer.
+func (u Until) String() string {
+	return fmt.Sprintf("(%s) U[%d,%d] (%s)", u.L, u.Lo, u.Hi, u.R)
+}
+
+// Eval implements Formula.
+func (u Until) Eval(tr Trace, step int) (bool, error) {
+	r, err := u.Robustness(tr, step)
+	if err != nil {
+		return false, err
+	}
+	return r >= 0, nil
+}
+
+// Robustness implements Formula.
+func (u Until) Robustness(tr Trace, step int) (float64, error) {
+	from, to, err := window(tr, step, u.Lo, u.Hi)
+	if err != nil {
+		return 0, err
+	}
+	best := math.Inf(-1)
+	for t := from; t <= to; t++ {
+		rr, err := u.R.Robustness(tr, t)
+		if err != nil {
+			return 0, err
+		}
+		cand := rr
+		for tt := step; tt < t; tt++ {
+			lr, err := u.L.Robustness(tr, tt)
+			if err != nil {
+				return 0, err
+			}
+			if lr < cand {
+				cand = lr
+			}
+		}
+		if cand > best {
+			best = cand
+		}
+	}
+	return best, nil
+}
