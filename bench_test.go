@@ -51,6 +51,36 @@ func assets(b *testing.B) *experiments.Assets {
 	return a
 }
 
+// benchSweep measures one full Fig 5 grid sweep (2 simulators × 4 ML
+// monitors × 5 noise levels) at a fixed worker count. The monitor cache is
+// warmed first so the benchmark isolates sweep execution from lazy training.
+func benchSweep(b *testing.B, workers int) {
+	a := assets(b)
+	experiments.SetWorkers(workers)
+	mat.SetParallelism(workers)
+	defer func() {
+		experiments.SetWorkers(0)
+		mat.SetParallelism(0)
+	}()
+	if _, err := experiments.Fig5(a); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepSerial is the single-worker baseline of the grid executor.
+func BenchmarkSweepSerial(b *testing.B) { benchSweep(b, 1) }
+
+// BenchmarkSweepParallel fans the same grid out across all cores; comparing
+// against BenchmarkSweepSerial measures the executor's speedup (the output
+// is byte-identical — see experiments.TestSweepDeterminism).
+func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 0) }
+
 // BenchmarkTable3 regenerates Table III (clean-input ACC/F1 of all five
 // monitors on both simulators).
 func BenchmarkTable3(b *testing.B) {
@@ -305,7 +335,10 @@ func BenchmarkAblationWindow(b *testing.B) {
 func BenchmarkAblationTolerance(b *testing.B) {
 	a := assets(b)
 	sa := a.Sims[dataset.Glucosym]
-	m := sa.Monitors["mlp"]
+	m, err := sa.Monitor("mlp")
+	if err != nil {
+		b.Fatal(err)
+	}
 	for i := 0; i < b.N; i++ {
 		for _, delta := range []int{0, 6, 12, 24} {
 			c, err := experiments.Score(m, sa.Test, delta, nil)

@@ -3,9 +3,11 @@ package experiments
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dataset"
 	"repro/internal/monitor"
+	"repro/internal/sweep"
 )
 
 // MonitorNames lists the five monitors of Table III in report order.
@@ -17,34 +19,140 @@ var MLMonitorNames = []string{"mlp", "mlp_custom", "lstm", "lstm_custom"}
 // Simulators lists both case studies in report order.
 var Simulators = []dataset.Simulator{dataset.Glucosym, dataset.T1DS}
 
-// SimAssets bundles everything evaluated for one simulator.
+// workerCount is the configured sweep fan-out; 0 selects GOMAXPROCS.
+var workerCount atomic.Int32
+
+// SetWorkers sets how many goroutines the experiment grid sweeps fan out to.
+// n <= 0 restores the default (runtime.GOMAXPROCS(0)); n == 1 runs every
+// sweep serially. Results are byte-identical at every setting: per-cell RNG
+// seeds are derived from (config seed, cell index), never from execution
+// order.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	workerCount.Store(int32(n))
+}
+
+// Workers returns the configured sweep fan-out (0 = GOMAXPROCS).
+func Workers() int { return int(workerCount.Load()) }
+
+// monitorEntry is one lazily-trained monitor slot: the sync.Once guarantees
+// exactly one training run per (simulator, monitor) key no matter how many
+// sweep cells request it concurrently.
+type monitorEntry struct {
+	once sync.Once
+	m    monitor.Monitor
+	err  error
+}
+
+// SimAssets bundles everything evaluated for one simulator. Monitors are
+// trained lazily and memoized: the first cell that needs a monitor trains
+// it, concurrent requesters block on that one training run, and every later
+// request hits the cache. All accessors are safe for concurrent use.
 type SimAssets struct {
-	Full     *dataset.Dataset
-	Train    *dataset.Dataset
-	Test     *dataset.Dataset
-	Monitors map[string]monitor.Monitor
+	Sim   dataset.Simulator
+	Full  *dataset.Dataset
+	Train *dataset.Dataset
+	Test  *dataset.Dataset
+
+	cfg Config
+
+	mu       sync.Mutex
+	monitors map[string]*monitorEntry
+
+	labelsOnce sync.Once
+	testLabels []int
+}
+
+// Monitor returns the named monitor, training it on first use. Concurrent
+// callers for the same name share a single training run.
+func (s *SimAssets) Monitor(name string) (monitor.Monitor, error) {
+	s.mu.Lock()
+	e, ok := s.monitors[name]
+	if !ok {
+		e = &monitorEntry{}
+		s.monitors[name] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() { e.m, e.err = s.trainMonitor(name) })
+	return e.m, e.err
 }
 
 // MLMonitor returns a trained ML monitor by name.
 func (s *SimAssets) MLMonitor(name string) (*monitor.MLMonitor, error) {
-	m, ok := s.Monitors[name].(*monitor.MLMonitor)
+	m, err := s.Monitor(name)
+	if err != nil {
+		return nil, err
+	}
+	ml, ok := m.(*monitor.MLMonitor)
 	if !ok {
 		return nil, fmt.Errorf("experiments: %q is not an ML monitor", name)
+	}
+	return ml, nil
+}
+
+// TestLabels returns the memoized test-set label vector. Callers must treat
+// the slice as read-only — it is shared across sweep cells.
+func (s *SimAssets) TestLabels() []int {
+	s.labelsOnce.Do(func() { s.testLabels = s.Test.Labels() })
+	return s.testLabels
+}
+
+// monitorSpecs maps each ML monitor name to its training recipe.
+var monitorSpecs = map[string]struct {
+	arch     monitor.Arch
+	semantic bool
+}{
+	"mlp":         {monitor.ArchMLP, false},
+	"mlp_custom":  {monitor.ArchMLP, true},
+	"lstm":        {monitor.ArchLSTM, false},
+	"lstm_custom": {monitor.ArchLSTM, true},
+}
+
+// trainMonitor builds one monitor from the training split. Training seeds
+// depend only on the config, so the result is identical whichever sweep cell
+// triggers the run.
+func (s *SimAssets) trainMonitor(name string) (monitor.Monitor, error) {
+	if name == "rule_based" {
+		return monitor.NewRuleBased(s.cfg.BGTarget), nil
+	}
+	spec, ok := monitorSpecs[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown monitor %q (known: %v)", name, MonitorNames)
+	}
+	h1, h2 := s.cfg.MLPHidden1, s.cfg.MLPHidden2
+	if spec.arch == monitor.ArchLSTM {
+		h1, h2 = s.cfg.LSTMHidden1, s.cfg.LSTMHidden2
+	}
+	m, err := monitor.Train(s.Train, monitor.TrainConfig{
+		Arch:           spec.arch,
+		Semantic:       spec.semantic,
+		SemanticWeight: s.cfg.SemanticWeight,
+		Epochs:         s.cfg.Epochs,
+		Hidden1:        h1,
+		Hidden2:        h2,
+		Seed:           s.cfg.Seed + 17,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: train %s on %v: %w", name, s.Sim, err)
 	}
 	return m, nil
 }
 
-// Assets holds datasets and trained monitors for both simulators.
+// Assets holds datasets and (lazily trained) monitors for both simulators.
 type Assets struct {
 	Config Config
 	Sims   map[dataset.Simulator]*SimAssets
 }
 
-// Build generates the campaigns and trains all monitors. It is the expensive
-// step every experiment shares; use Shared for a process-wide cache.
+// Build generates the simulation campaigns for both simulators in parallel.
+// Monitors are not trained here: each is trained on first use, so a run that
+// touches only some monitors never pays for the rest, and parallel sweep
+// cells needing the same monitor share one training run.
 func Build(cfg Config) (*Assets, error) {
-	a := &Assets{Config: cfg, Sims: make(map[dataset.Simulator]*SimAssets, 2)}
-	for _, simu := range Simulators {
+	sims, err := sweep.Map(Workers(), len(Simulators), func(i int) (*SimAssets, error) {
+		simu := Simulators[i]
 		ds, err := dataset.Generate(dataset.CampaignConfig{
 			Simulator:          simu,
 			Profiles:           cfg.Profiles,
@@ -62,41 +170,21 @@ func Build(cfg Config) (*Assets, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: split %v: %w", simu, err)
 		}
-		sa := &SimAssets{
+		return &SimAssets{
+			Sim:      simu,
 			Full:     ds,
 			Train:    train,
 			Test:     test,
-			Monitors: map[string]monitor.Monitor{"rule_based": monitor.NewRuleBased(cfg.BGTarget)},
-		}
-		for _, spec := range []struct {
-			name     string
-			arch     monitor.Arch
-			semantic bool
-		}{
-			{"mlp", monitor.ArchMLP, false},
-			{"mlp_custom", monitor.ArchMLP, true},
-			{"lstm", monitor.ArchLSTM, false},
-			{"lstm_custom", monitor.ArchLSTM, true},
-		} {
-			h1, h2 := cfg.MLPHidden1, cfg.MLPHidden2
-			if spec.arch == monitor.ArchLSTM {
-				h1, h2 = cfg.LSTMHidden1, cfg.LSTMHidden2
-			}
-			m, err := monitor.Train(train, monitor.TrainConfig{
-				Arch:           spec.arch,
-				Semantic:       spec.semantic,
-				SemanticWeight: cfg.SemanticWeight,
-				Epochs:         cfg.Epochs,
-				Hidden1:        h1,
-				Hidden2:        h2,
-				Seed:           cfg.Seed + 17,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("experiments: train %s on %v: %w", spec.name, simu, err)
-			}
-			sa.Monitors[spec.name] = m
-		}
-		a.Sims[simu] = sa
+			cfg:      cfg,
+			monitors: make(map[string]*monitorEntry, len(MonitorNames)),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	a := &Assets{Config: cfg, Sims: make(map[dataset.Simulator]*SimAssets, len(sims))}
+	for _, sa := range sims {
+		a.Sims[sa.Sim] = sa
 	}
 	return a, nil
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/mat"
 	"repro/internal/monitor"
+	"repro/internal/sweep"
 )
 
 // Fig3Result reproduces Fig. 3: the decision boundaries of the baseline MLP
@@ -36,16 +37,23 @@ func Fig3(a *Assets) (*Fig3Result, error) {
 	for i := 0; i < nIOB; i++ {
 		res.IOBs = append(res.IOBs, -2+float64(i)*4/(nIOB-1))
 	}
-	for _, name := range []string{"mlp", "mlp_custom"} {
-		m, err := sa.MLMonitor(name)
+	names := []string{"mlp", "mlp_custom"}
+	grids, err := sweep.Map(Workers(), len(names), func(i int) ([][]int, error) {
+		m, err := sa.MLMonitor(names[i])
 		if err != nil {
 			return nil, err
 		}
 		grid, err := rasterize(m, res.BGs, res.IOBs)
 		if err != nil {
-			return nil, fmt.Errorf("fig3: %s: %w", name, err)
+			return nil, fmt.Errorf("fig3: %s: %w", names[i], err)
 		}
-		res.Grid[name] = grid
+		return grid, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range names {
+		res.Grid[name] = grids[i]
 	}
 	var differ, total int
 	for i := range res.IOBs {

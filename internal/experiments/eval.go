@@ -82,10 +82,16 @@ func GaussianRobustness(m *monitor.MLMonitor, test *dataset.Dataset, sigma float
 }
 
 // FGSMPerturbation crafts white-box adversarial inputs against the monitor's
-// own model using the true labels (Eqs 3-4).
+// own model using the true labels (Eqs 3-4). The gradient pass records
+// backward state on the model, so each invocation attacks a private clone —
+// which is what lets parallel sweep cells share one trained monitor.
 func FGSMPerturbation(m *monitor.MLMonitor, labels []int, eps float64) Perturbation {
 	return func(x *mat.Matrix) (*mat.Matrix, error) {
-		return attack.FGSM(m.Model(), x, labels, eps)
+		model, err := m.Model().Clone()
+		if err != nil {
+			return nil, err
+		}
+		return attack.FGSM(model, x, labels, eps)
 	}
 }
 

@@ -7,6 +7,9 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/dataset"
+	"repro/internal/mat"
+	"repro/internal/monitor"
+	"repro/internal/sweep"
 )
 
 // EvasionResult verifies the paper's §III premise: the studied perturbations
@@ -23,78 +26,108 @@ type EvasionResult struct {
 	FGSM     map[string][]float64
 }
 
+// evasionPrep is the per-simulator shared state of the evasion sweep: the
+// unperturbed episode series plus the FGSM attack surface. Built once per
+// simulator, read concurrently by the level cells.
+type evasionPrep struct {
+	sa        *SimAssets
+	bgStd     float64
+	lastBGCol int
+	orig      [][]float64
+	m         *monitor.MLMonitor
+	x         *mat.Matrix
+	labels    []int
+}
+
+// episodeSeries slices a per-sample scalar into per-episode series.
+func episodeSeries(test *dataset.Dataset, get func(i int) float64) [][]float64 {
+	out := make([][]float64, 0, len(test.EpisodeIndex))
+	for _, r := range test.EpisodeIndex {
+		series := make([]float64, 0, r[1]-r[0])
+		for i := r[0]; i < r[1]; i++ {
+			series = append(series, get(i))
+		}
+		out = append(out, series)
+	}
+	return out
+}
+
 // Evasion computes CUSUM evasion rates for both perturbation families on
-// both simulators. The detector watches the strongest possible signal — the
-// raw perturbation residual in σ units.
+// both simulators, one (simulator, level) pair per sweep cell. The detector
+// watches the strongest possible signal — the raw perturbation residual in σ
+// units.
 func Evasion(a *Assets) (*EvasionResult, error) {
+	// Per-simulator prep: the original series and the LSTM attack surface.
+	preps, err := sweep.Map(Workers(), len(Simulators), func(i int) (*evasionPrep, error) {
+		sa := a.Sims[Simulators[i]]
+		test := sa.Test
+		p := &evasionPrep{
+			sa:        sa,
+			bgStd:     test.SeqNorm.Std[dataset.SeqFeatBG],
+			lastBGCol: (test.Window-1)*dataset.SeqFeatureCount + dataset.SeqFeatBG,
+			labels:    sa.TestLabels(),
+		}
+		p.orig = episodeSeries(test, func(i int) float64 { return test.Samples[i].Seq[p.lastBGCol] })
+		m, err := sa.MLMonitor("lstm")
+		if err != nil {
+			return nil, err
+		}
+		p.m = m
+		p.x, err = m.InputMatrix(test.Samples)
+		if err != nil {
+			return nil, err
+		}
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// One cell per (simulator, level), Gaussian levels first, then FGSM.
+	nLevels := len(GaussianLevels) + len(FGSMLevels)
+	g := sweep.NewGrid(len(Simulators), nLevels)
+	base := sweep.Derive(a.Config.Seed, tagEvasion)
+	rates, err := sweep.Map(Workers(), g.Size(), func(i int) (float64, error) {
+		co := g.Coords(i)
+		p := preps[co[0]]
+		test := p.sa.Test
+		if li := co[1]; li < len(GaussianLevels) {
+			sigma := GaussianLevels[li]
+			rng := rand.New(rand.NewSource(sweep.CellSeed(base, i)))
+			noisy, err := dataset.GaussianNoisySamples(rng, test, sigma)
+			if err != nil {
+				return 0, fmt.Errorf("evasion: %v σ=%v: %w", p.sa.Sim, sigma, err)
+			}
+			pert := episodeSeries(test, func(i int) float64 { return noisy[i].Seq[p.lastBGCol] })
+			return attack.EvasionRate(p.orig, pert, p.bgStd)
+		}
+		eps := FGSMLevels[co[1]-len(GaussianLevels)]
+		// FGSM on the monitor input space, denormalized back to mg/dL.
+		adv, err := FGSMPerturbation(p.m, p.labels, eps)(p.x)
+		if err != nil {
+			return 0, fmt.Errorf("evasion: %v ε=%v: %w", p.sa.Sim, eps, err)
+		}
+		p.m.Normalizer().Invert(adv)
+		pert := episodeSeries(test, func(i int) float64 { return adv.At(i, p.lastBGCol) })
+		return attack.EvasionRate(p.orig, pert, p.bgStd)
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	res := &EvasionResult{
 		GaussianLevels: GaussianLevels,
 		FGSMLevels:     FGSMLevels,
 		Gaussian:       map[string][]float64{},
 		FGSM:           map[string][]float64{},
 	}
-	for _, simu := range Simulators {
-		sa := a.Sims[simu]
-		test := sa.Test
-		bgStd := test.SeqNorm.Std[dataset.SeqFeatBG]
-		lastBGCol := (test.Window-1)*dataset.SeqFeatureCount + dataset.SeqFeatBG
-
-		episodeSeries := func(get func(i int) float64) [][]float64 {
-			out := make([][]float64, 0, len(test.EpisodeIndex))
-			for _, r := range test.EpisodeIndex {
-				series := make([]float64, 0, r[1]-r[0])
-				for i := r[0]; i < r[1]; i++ {
-					series = append(series, get(i))
-				}
-				out = append(out, series)
-			}
-			return out
+	for si, simu := range Simulators {
+		for li := range GaussianLevels {
+			res.Gaussian[simu.String()] = append(res.Gaussian[simu.String()], rates[g.Index(si, li)])
 		}
-		orig := episodeSeries(func(i int) float64 { return test.Samples[i].Seq[lastBGCol] })
-
-		// Gaussian noise on the raw sensor stream.
-		var gRates []float64
-		for li, sigma := range GaussianLevels {
-			rng := rand.New(rand.NewSource(a.Config.Seed + int64(li)*53))
-			noisy, err := dataset.GaussianNoisySamples(rng, test, sigma)
-			if err != nil {
-				return nil, fmt.Errorf("evasion: %v σ=%v: %w", simu, sigma, err)
-			}
-			pert := episodeSeries(func(i int) float64 { return noisy[i].Seq[lastBGCol] })
-			rate, err := attack.EvasionRate(orig, pert, bgStd)
-			if err != nil {
-				return nil, err
-			}
-			gRates = append(gRates, rate)
+		for li := range FGSMLevels {
+			res.FGSM[simu.String()] = append(res.FGSM[simu.String()], rates[g.Index(si, len(GaussianLevels)+li)])
 		}
-		res.Gaussian[simu.String()] = gRates
-
-		// FGSM on the monitor input space, denormalized back to mg/dL.
-		m, err := sa.MLMonitor("lstm")
-		if err != nil {
-			return nil, err
-		}
-		x, err := m.InputMatrix(test.Samples)
-		if err != nil {
-			return nil, err
-		}
-		labels := test.Labels()
-		var fRates []float64
-		for _, eps := range FGSMLevels {
-			adv, err := attack.FGSM(m.Model(), x, labels, eps)
-			if err != nil {
-				return nil, err
-			}
-			advRaw := adv.Clone()
-			m.Normalizer().Invert(advRaw)
-			pert := episodeSeries(func(i int) float64 { return advRaw.At(i, lastBGCol) })
-			rate, err := attack.EvasionRate(orig, pert, bgStd)
-			if err != nil {
-				return nil, err
-			}
-			fRates = append(fRates, rate)
-		}
-		res.FGSM[simu.String()] = fRates
 	}
 	return res, nil
 }

@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/attack"
 	"repro/internal/dataset"
 	"repro/internal/mat"
+	"repro/internal/sweep"
 )
 
 // Fig8Result reproduces Fig. 8: F1 score of the four ML monitors under
@@ -16,33 +16,29 @@ type Fig8Result struct {
 	F1     map[string]map[string][]float64
 }
 
-// Fig8 sweeps the FGSM ε budgets.
+// Fig8 sweeps the FGSM ε budgets over the shared grid executor. FGSM is
+// deterministic given the model and labels, so cells need no seed.
 func Fig8(a *Assets) (*Fig8Result, error) {
-	res := &Fig8Result{
-		Levels: FGSMLevels,
-		F1:     map[string]map[string][]float64{},
-	}
-	for _, simu := range Simulators {
-		sa := a.Sims[simu]
-		labels := sa.Test.Labels()
-		res.F1[simu.String()] = map[string][]float64{}
-		for _, name := range MLMonitorNames {
-			m, err := sa.MLMonitor(name)
+	f1, err := runGrid(a, gridSpec[float64]{
+		monitors: MLMonitorNames,
+		levels:   FGSMLevels,
+		tag:      tagFig8,
+		eval: func(c *GridCell) (float64, error) {
+			m, err := c.SA.MLMonitor(c.Monitor)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			series := make([]float64, 0, len(FGSMLevels))
-			for _, eps := range FGSMLevels {
-				c, err := Score(m, sa.Test, a.Config.ToleranceDelta, FGSMPerturbation(m, labels, eps))
-				if err != nil {
-					return nil, fmt.Errorf("fig8: %s on %v ε=%v: %w", name, simu, eps, err)
-				}
-				series = append(series, c.F1())
+			conf, err := Score(m, c.SA.Test, a.Config.ToleranceDelta, FGSMPerturbation(m, c.SA.TestLabels(), c.Level))
+			if err != nil {
+				return 0, cellErr("fig8", c, err)
 			}
-			res.F1[simu.String()][name] = series
-		}
+			return conf.F1(), nil
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig8Result{Levels: FGSMLevels, F1: f1}, nil
 }
 
 // Render formats the Fig. 8 series.
@@ -91,9 +87,9 @@ func Fig2(a *Assets) (*Fig2Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	labels := sa.Test.Labels()
+	labels := sa.TestLabels()
 	const eps = 0.2
-	adv, err := attack.FGSM(m.Model(), x, labels, eps)
+	adv, err := FGSMPerturbation(m, labels, eps)(x)
 	if err != nil {
 		return nil, err
 	}
@@ -163,35 +159,37 @@ type Fig7Result struct {
 	IOBAdv      map[string][]float64
 }
 
+// fig7Series is one monitor's denormalized trace pair.
+type fig7Series struct {
+	BGOrig, BGAdv, IOBOrig, IOBAdv []float64
+}
+
+// fig7Monitors is the monitor axis of Fig. 7.
+var fig7Monitors = []string{"mlp", "lstm"}
+
 // Fig7 denormalizes a stretch of adversarial inputs on the Glucosym test
-// set.
+// set, one monitor per sweep cell.
 func Fig7(a *Assets) (*Fig7Result, error) {
 	sa := a.Sims[dataset.Glucosym]
-	labels := sa.Test.Labels()
+	labels := sa.TestLabels()
 	const eps = 0.2
 	n := sa.Test.Len()
 	if n > 300 {
 		n = 300
 	}
-	res := &Fig7Result{
-		Epsilon:     eps,
-		BGOriginal:  map[string][]float64{},
-		BGAdv:       map[string][]float64{},
-		IOBOriginal: map[string][]float64{},
-		IOBAdv:      map[string][]float64{},
-	}
-	for _, name := range []string{"mlp", "lstm"} {
+	series, err := sweep.Map(Workers(), len(fig7Monitors), func(i int) (fig7Series, error) {
+		name := fig7Monitors[i]
 		m, err := sa.MLMonitor(name)
 		if err != nil {
-			return nil, err
+			return fig7Series{}, err
 		}
 		x, err := m.InputMatrix(sa.Test.Samples[:n])
 		if err != nil {
-			return nil, err
+			return fig7Series{}, err
 		}
-		adv, err := attack.FGSM(m.Model(), x, labels[:n], eps)
+		adv, err := FGSMPerturbation(m, labels[:n], eps)(x)
 		if err != nil {
-			return nil, err
+			return fig7Series{}, err
 		}
 		m.Normalizer().Invert(x)
 		m.Normalizer().Invert(adv)
@@ -203,10 +201,28 @@ func Fig7(a *Assets) (*Fig7Result, error) {
 			base := (a.Config.Window - 1) * dataset.SeqFeatureCount
 			bgCol, iobCol = base+dataset.SeqFeatBG, base+dataset.SeqFeatIOB
 		}
-		res.BGOriginal[name] = x.Col(bgCol)
-		res.BGAdv[name] = adv.Col(bgCol)
-		res.IOBOriginal[name] = x.Col(iobCol)
-		res.IOBAdv[name] = adv.Col(iobCol)
+		return fig7Series{
+			BGOrig:  x.Col(bgCol),
+			BGAdv:   adv.Col(bgCol),
+			IOBOrig: x.Col(iobCol),
+			IOBAdv:  adv.Col(iobCol),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig7Result{
+		Epsilon:     eps,
+		BGOriginal:  map[string][]float64{},
+		BGAdv:       map[string][]float64{},
+		IOBOriginal: map[string][]float64{},
+		IOBAdv:      map[string][]float64{},
+	}
+	for i, name := range fig7Monitors {
+		res.BGOriginal[name] = series[i].BGOrig
+		res.BGAdv[name] = series[i].BGAdv
+		res.IOBOriginal[name] = series[i].IOBOrig
+		res.IOBAdv[name] = series[i].IOBAdv
 	}
 	return res, nil
 }
@@ -216,7 +232,7 @@ func Fig7(a *Assets) (*Fig7Result, error) {
 func (r *Fig7Result) Render() string {
 	var sb strings.Builder
 	sb.WriteString("Fig 7: Example Input Data with/without White-box FGSM Attacks (ε=0.2)\n")
-	for _, name := range []string{"mlp", "lstm"} {
+	for _, name := range fig7Monitors {
 		bgO, bgA := r.BGOriginal[name], r.BGAdv[name]
 		iobO, iobA := r.IOBOriginal[name], r.IOBAdv[name]
 		var bgDelta, iobDelta float64

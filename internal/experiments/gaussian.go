@@ -7,6 +7,7 @@ import (
 
 	"math/rand"
 	"repro/internal/dataset"
+	"repro/internal/sweep"
 )
 
 // Fig5Result reproduces Fig. 5: F1 score of the four ML monitors under
@@ -17,32 +18,28 @@ type Fig5Result struct {
 	F1     map[string]map[string][]float64
 }
 
-// Fig5 sweeps the Gaussian noise levels.
+// Fig5 sweeps the Gaussian noise levels over the shared grid executor.
 func Fig5(a *Assets) (*Fig5Result, error) {
-	res := &Fig5Result{
-		Levels: GaussianLevels,
-		F1:     map[string]map[string][]float64{},
-	}
-	for _, simu := range Simulators {
-		sa := a.Sims[simu]
-		res.F1[simu.String()] = map[string][]float64{}
-		for _, name := range MLMonitorNames {
-			m, err := sa.MLMonitor(name)
+	f1, err := runGrid(a, gridSpec[float64]{
+		monitors: MLMonitorNames,
+		levels:   GaussianLevels,
+		tag:      tagFig5,
+		eval: func(c *GridCell) (float64, error) {
+			m, err := c.SA.MLMonitor(c.Monitor)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			series := make([]float64, 0, len(GaussianLevels))
-			for li, sigma := range GaussianLevels {
-				c, err := GaussianScore(m, sa.Test, sigma, a.Config.Seed+int64(li)*31, a.Config.ToleranceDelta)
-				if err != nil {
-					return nil, fmt.Errorf("fig5: %s on %v σ=%v: %w", name, simu, sigma, err)
-				}
-				series = append(series, c.F1())
+			conf, err := GaussianScore(m, c.SA.Test, c.Level, c.Seed, a.Config.ToleranceDelta)
+			if err != nil {
+				return 0, cellErr("fig5", c, err)
 			}
-			res.F1[simu.String()][name] = series
-		}
+			return conf.F1(), nil
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig5Result{Levels: GaussianLevels, F1: f1}, nil
 }
 
 // Render formats the Fig. 5 series.
@@ -64,6 +61,12 @@ func (r *Fig5Result) Render() string {
 	return sb.String()
 }
 
+// prSample carries one cell of the Fig. 6 precision/recall sweep.
+type prSample struct {
+	Precision float64
+	Recall    float64
+}
+
 // Fig6Result reproduces Fig. 6: precision and recall of the MLP and
 // MLP-Custom monitors on the T1DS simulator under Gaussian noise.
 type Fig6Result struct {
@@ -72,26 +75,40 @@ type Fig6Result struct {
 	Recall    map[string][]float64
 }
 
+// fig6Monitors is the monitor axis of Fig. 6.
+var fig6Monitors = []string{"mlp", "mlp_custom"}
+
 // Fig6 sweeps noise levels for the two MLP monitors on T1DS.
 func Fig6(a *Assets) (*Fig6Result, error) {
-	sa := a.Sims[dataset.T1DS]
+	grid, err := runGrid(a, gridSpec[prSample]{
+		sims:     []dataset.Simulator{dataset.T1DS},
+		monitors: fig6Monitors,
+		levels:   GaussianLevels,
+		tag:      tagFig6,
+		eval: func(c *GridCell) (prSample, error) {
+			m, err := c.SA.MLMonitor(c.Monitor)
+			if err != nil {
+				return prSample{}, err
+			}
+			conf, err := GaussianScore(m, c.SA.Test, c.Level, c.Seed, a.Config.ToleranceDelta)
+			if err != nil {
+				return prSample{}, cellErr("fig6", c, err)
+			}
+			return prSample{Precision: conf.Precision(), Recall: conf.Recall()}, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
 	res := &Fig6Result{
 		Levels:    GaussianLevels,
 		Precision: map[string][]float64{},
 		Recall:    map[string][]float64{},
 	}
-	for _, name := range []string{"mlp", "mlp_custom"} {
-		m, err := sa.MLMonitor(name)
-		if err != nil {
-			return nil, err
-		}
-		for li, sigma := range GaussianLevels {
-			c, err := GaussianScore(m, sa.Test, sigma, a.Config.Seed+int64(li)*37, a.Config.ToleranceDelta)
-			if err != nil {
-				return nil, fmt.Errorf("fig6: %s σ=%v: %w", name, sigma, err)
-			}
-			res.Precision[name] = append(res.Precision[name], c.Precision())
-			res.Recall[name] = append(res.Recall[name], c.Recall())
+	for _, name := range fig6Monitors {
+		for _, pr := range grid[dataset.T1DS.String()][name] {
+			res.Precision[name] = append(res.Precision[name], pr.Precision)
+			res.Recall[name] = append(res.Recall[name], pr.Recall)
 		}
 	}
 	return res, nil
@@ -102,7 +119,7 @@ func (r *Fig6Result) Render() string {
 	var sb strings.Builder
 	sb.WriteString("Fig 6: Precision and Recall of MLP Monitors in T1DS vs Gaussian Noise\n")
 	t := &table{header: append([]string{"Metric/Model"}, levelsHeader("σ", r.Levels)...)}
-	for _, name := range []string{"mlp", "mlp_custom"} {
+	for _, name := range fig6Monitors {
 		cells := []string{"precision " + name}
 		for _, v := range r.Precision[name] {
 			cells = append(cells, f3(v))
@@ -118,6 +135,12 @@ func (r *Fig6Result) Render() string {
 	return sb.String()
 }
 
+// fig4Hist is one simulator's pair of Fig. 4 histograms.
+type fig4Hist struct {
+	Original []int
+	Noisy    []int
+}
+
 // Fig4Result reproduces Fig. 4: histograms of the test BG distribution with
 // and without Gaussian noise (σ = 0.5 std), for both simulators.
 type Fig4Result struct {
@@ -126,7 +149,8 @@ type Fig4Result struct {
 	Noisy    map[string][]int
 }
 
-// Fig4 builds the histograms over the raw (mg/dL) BG values.
+// Fig4 builds the histograms over the raw (mg/dL) BG values, one simulator
+// per sweep cell.
 func Fig4(a *Assets) (*Fig4Result, error) {
 	const bins = 12
 	lo, hi := 40.0, 340.0
@@ -137,8 +161,9 @@ func Fig4(a *Assets) (*Fig4Result, error) {
 	for b := 0; b <= bins; b++ {
 		res.BinEdges = append(res.BinEdges, lo+float64(b)*(hi-lo)/bins)
 	}
-	for _, simu := range Simulators {
-		sa := a.Sims[simu]
+	base := sweep.Derive(a.Config.Seed, tagFig4)
+	hists, err := sweep.Map(Workers(), len(Simulators), func(i int) (fig4Hist, error) {
+		sa := a.Sims[Simulators[i]]
 		orig := make([]int, bins)
 		noisy := make([]int, bins)
 		// Raw BG std on the test set scales the noise (σ = 0.5 std), as in
@@ -153,7 +178,7 @@ func Fig4(a *Assets) (*Fig4Result, error) {
 			sq += d * d
 		}
 		std := math.Sqrt(sq / float64(sa.Test.Len()))
-		rng := rand.New(rand.NewSource(a.Config.Seed + 41))
+		rng := rand.New(rand.NewSource(sweep.CellSeed(base, i)))
 		binOf := func(v float64) int {
 			b := int((v - lo) / (hi - lo) * bins)
 			if b < 0 {
@@ -168,8 +193,14 @@ func Fig4(a *Assets) (*Fig4Result, error) {
 			orig[binOf(s.BG)]++
 			noisy[binOf(s.BG+rng.NormFloat64()*0.5*std)]++
 		}
-		res.Original[simu.String()] = orig
-		res.Noisy[simu.String()] = noisy
+		return fig4Hist{Original: orig, Noisy: noisy}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, simu := range Simulators {
+		res.Original[simu.String()] = hists[i].Original
+		res.Noisy[simu.String()] = hists[i].Noisy
 	}
 	return res, nil
 }

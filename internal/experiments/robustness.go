@@ -41,67 +41,73 @@ func heatmapRowOrder() []string {
 	return rows
 }
 
-// Fig9Gaussian computes the robustness-error heatmap against Gaussian noise
-// (left heatmap of Fig. 9).
-func Fig9Gaussian(a *Assets) (*HeatmapResult, error) {
+// heatmapFromGrid reshapes a runGrid result into the paper's row layout.
+func heatmapFromGrid(title, prefix string, levels []float64, grid map[string]map[string][]float64) *HeatmapResult {
 	res := &HeatmapResult{
-		Title:    "Robustness Error of ML Monitors Against Gaussian Noise (0 ± std·σ)",
-		Prefix:   "σ",
-		Levels:   GaussianLevels,
+		Title:    title,
+		Prefix:   prefix,
+		Levels:   levels,
 		Errors:   map[string][]float64{},
 		RowOrder: heatmapRowOrder(),
 	}
-	for _, simu := range Simulators {
-		sa := a.Sims[simu]
-		for _, name := range MLMonitorNames {
-			m, err := sa.MLMonitor(name)
-			if err != nil {
-				return nil, err
-			}
-			row := make([]float64, 0, len(GaussianLevels))
-			for li, sigma := range GaussianLevels {
-				re, err := GaussianRobustness(m, sa.Test, sigma, a.Config.Seed+int64(li)*43)
-				if err != nil {
-					return nil, fmt.Errorf("fig9 gaussian: %s on %v: %w", name, simu, err)
-				}
-				row = append(row, re)
-			}
-			res.Errors[rowLabel(name, simu.String())] = row
+	for simName, rows := range grid {
+		for name, row := range rows {
+			res.Errors[rowLabel(name, simName)] = row
 		}
 	}
-	return res, nil
+	return res
+}
+
+// Fig9Gaussian computes the robustness-error heatmap against Gaussian noise
+// (left heatmap of Fig. 9).
+func Fig9Gaussian(a *Assets) (*HeatmapResult, error) {
+	grid, err := runGrid(a, gridSpec[float64]{
+		monitors: MLMonitorNames,
+		levels:   GaussianLevels,
+		tag:      tagFig9,
+		eval: func(c *GridCell) (float64, error) {
+			m, err := c.SA.MLMonitor(c.Monitor)
+			if err != nil {
+				return 0, err
+			}
+			re, err := GaussianRobustness(m, c.SA.Test, c.Level, c.Seed)
+			if err != nil {
+				return 0, cellErr("fig9 gaussian", c, err)
+			}
+			return re, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return heatmapFromGrid("Robustness Error of ML Monitors Against Gaussian Noise (0 ± std·σ)",
+		"σ", GaussianLevels, grid), nil
 }
 
 // Fig9FGSM computes the robustness-error heatmap against white-box FGSM
 // (right heatmap of Fig. 9).
 func Fig9FGSM(a *Assets) (*HeatmapResult, error) {
-	res := &HeatmapResult{
-		Title:    "Robustness Error of ML Monitors Against White-box FGSM Attacks",
-		Prefix:   "ε",
-		Levels:   FGSMLevels,
-		Errors:   map[string][]float64{},
-		RowOrder: heatmapRowOrder(),
-	}
-	for _, simu := range Simulators {
-		sa := a.Sims[simu]
-		labels := sa.Test.Labels()
-		for _, name := range MLMonitorNames {
-			m, err := sa.MLMonitor(name)
+	grid, err := runGrid(a, gridSpec[float64]{
+		monitors: MLMonitorNames,
+		levels:   FGSMLevels,
+		tag:      tagFig9FGSM,
+		eval: func(c *GridCell) (float64, error) {
+			m, err := c.SA.MLMonitor(c.Monitor)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			row := make([]float64, 0, len(FGSMLevels))
-			for _, eps := range FGSMLevels {
-				re, err := RobustnessError(m, sa.Test, FGSMPerturbation(m, labels, eps))
-				if err != nil {
-					return nil, fmt.Errorf("fig9 fgsm: %s on %v: %w", name, simu, err)
-				}
-				row = append(row, re)
+			re, err := RobustnessError(m, c.SA.Test, FGSMPerturbation(m, c.SA.TestLabels(), c.Level))
+			if err != nil {
+				return 0, cellErr("fig9 fgsm", c, err)
 			}
-			res.Errors[rowLabel(name, simu.String())] = row
-		}
+			return re, nil
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return heatmapFromGrid("Robustness Error of ML Monitors Against White-box FGSM Attacks",
+		"ε", FGSMLevels, grid), nil
 }
 
 // blackBoxQueryBudget caps how many monitor queries the black-box attacker
@@ -109,77 +115,74 @@ func Fig9FGSM(a *Assets) (*HeatmapResult, error) {
 const blackBoxQueryBudget = 600
 
 // Fig10 computes the robustness-error heatmap against black-box FGSM
-// attacks crafted on a substitute model trained from target queries.
+// attacks crafted on a substitute model trained from target queries. The
+// sweep cell is one (simulator, monitor) pair: the substitute is trained
+// once per pair and every ε budget transfers from it, so parallel execution
+// never retrains a substitute.
 func Fig10(a *Assets) (*HeatmapResult, error) {
-	res := &HeatmapResult{
-		Title:    "Robustness Error of ML Monitors Against Black-box Attacks",
-		Prefix:   "ε",
-		Levels:   FGSMLevels,
-		Errors:   map[string][]float64{},
-		RowOrder: heatmapRowOrder(),
-	}
-	for _, simu := range Simulators {
-		sa := a.Sims[simu]
-		for _, name := range MLMonitorNames {
-			m, err := sa.MLMonitor(name)
-			if err != nil {
-				return nil, err
-			}
-			// The attacker queries the target and fits the substitute to the
-			// responses. The query budget is limited — a realistic black-box
-			// constraint, and the reason transfer attacks are weaker than
-			// white-box ones (§IV-G).
-			qx, err := m.InputMatrix(sa.Train.Samples)
-			if err != nil {
-				return nil, err
-			}
-			if qx.Rows() > blackBoxQueryBudget {
-				qx, err = qx.SliceRows(0, blackBoxQueryBudget)
-				if err != nil {
-					return nil, err
-				}
-			}
-			qPred, err := m.PredictClasses(qx)
-			if err != nil {
-				return nil, err
-			}
-			sub, err := attack.TrainSubstitute(qx, qPred, attack.SubstituteConfig{
-				Epochs: a.Config.Epochs,
-				Seed:   a.Config.Seed + 59,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("fig10: substitute for %s on %v: %w", name, simu, err)
-			}
-			// Perturbations crafted on the substitute using the target's
-			// (observed) predictions as labels, then transferred.
-			tx, err := m.InputMatrix(sa.Test.Samples)
-			if err != nil {
-				return nil, err
-			}
-			tPred, err := m.PredictClasses(tx)
-			if err != nil {
-				return nil, err
-			}
-			row := make([]float64, 0, len(FGSMLevels))
-			for _, eps := range FGSMLevels {
-				adv, err := attack.BlackBoxFGSM(sub, tx, tPred, eps)
-				if err != nil {
-					return nil, err
-				}
-				advPred, err := m.PredictClasses(adv)
-				if err != nil {
-					return nil, err
-				}
-				re, err := robustnessErr(tPred, advPred)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, re)
-			}
-			res.Errors[rowLabel(name, simu.String())] = row
+	rows, err := runPairs(a, MLMonitorNames, tagFig10, func(c *GridCell) ([]float64, error) {
+		m, err := c.SA.MLMonitor(c.Monitor)
+		if err != nil {
+			return nil, err
 		}
+		// The attacker queries the target and fits the substitute to the
+		// responses. The query budget is limited — a realistic black-box
+		// constraint, and the reason transfer attacks are weaker than
+		// white-box ones (§IV-G).
+		qx, err := m.InputMatrix(c.SA.Train.Samples)
+		if err != nil {
+			return nil, err
+		}
+		if qx.Rows() > blackBoxQueryBudget {
+			qx, err = qx.SliceRows(0, blackBoxQueryBudget)
+			if err != nil {
+				return nil, err
+			}
+		}
+		qPred, err := m.PredictClasses(qx)
+		if err != nil {
+			return nil, err
+		}
+		sub, err := attack.TrainSubstitute(qx, qPred, attack.SubstituteConfig{
+			Epochs: a.Config.Epochs,
+			Seed:   c.Seed,
+		})
+		if err != nil {
+			return nil, cellErr("fig10 substitute", c, err)
+		}
+		// Perturbations crafted on the substitute using the target's
+		// (observed) predictions as labels, then transferred.
+		tx, err := m.InputMatrix(c.SA.Test.Samples)
+		if err != nil {
+			return nil, err
+		}
+		tPred, err := m.PredictClasses(tx)
+		if err != nil {
+			return nil, err
+		}
+		row := make([]float64, 0, len(FGSMLevels))
+		for _, eps := range FGSMLevels {
+			adv, err := attack.BlackBoxFGSM(sub, tx, tPred, eps)
+			if err != nil {
+				return nil, err
+			}
+			advPred, err := m.PredictClasses(adv)
+			if err != nil {
+				return nil, err
+			}
+			re, err := robustnessErr(tPred, advPred)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, re)
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return heatmapFromGrid("Robustness Error of ML Monitors Against Black-box Attacks",
+		"ε", FGSMLevels, rows), nil
 }
 
 func robustnessErr(orig, pert []int) (float64, error) {

@@ -36,29 +36,57 @@ func wrap[T Renderer](r T, err error) (Renderer, error) {
 	return r, nil
 }
 
-// ExperimentIDs lists the registry keys in run order.
+// experimentOrder is the canonical run order: the paper's artifacts first
+// (Table III, then the figures in number order), extensions last. Every
+// entry must exist in Registry — ValidateRegistry enforces the invariant.
+var experimentOrder = []string{
+	"table3", "fig1b", "fig2", "fig3", "fig4", "fig5", "fig6",
+	"fig7", "fig8", "fig9", "fig10", "evasion",
+}
+
+// ExperimentIDs lists the registry keys in run order: the explicit
+// experimentOrder entries first, then any registry keys missing from the
+// order (e.g. experiments registered by tests) sorted lexically so the
+// result is deterministic either way.
 func ExperimentIDs() []string {
 	ids := make([]string, 0, len(Registry))
+	seen := make(map[string]bool, len(experimentOrder))
+	for _, id := range experimentOrder {
+		if _, ok := Registry[id]; ok {
+			ids = append(ids, id)
+			seen[id] = true
+		}
+	}
+	var extra []string
 	for id := range Registry {
-		ids = append(ids, id)
-	}
-	rank := map[string]string{
-		"table3": "00", "fig1b": "01", "fig2": "02", "fig3": "03",
-		"fig4": "04", "fig5": "05", "fig6": "06", "fig7": "07",
-		"fig8": "08", "fig9": "09", "fig10": "10", "evasion": "11",
-	}
-	sort.Slice(ids, func(i, j int) bool {
-		ri, ok := rank[ids[i]]
-		if !ok {
-			ri = "99" + ids[i]
+		if !seen[id] {
+			extra = append(extra, id)
 		}
-		rj, ok := rank[ids[j]]
-		if !ok {
-			rj = "99" + ids[j]
+	}
+	sort.Strings(extra)
+	return append(ids, extra...)
+}
+
+// ValidateRegistry checks that experimentOrder and Registry agree: every
+// ordered ID is registered and every registered ID is ordered. The runner
+// test calls it so a drifting registry fails fast.
+func ValidateRegistry() error {
+	inOrder := make(map[string]bool, len(experimentOrder))
+	for _, id := range experimentOrder {
+		if inOrder[id] {
+			return fmt.Errorf("experiments: duplicate id %q in experimentOrder", id)
 		}
-		return ri < rj
-	})
-	return ids
+		inOrder[id] = true
+		if _, ok := Registry[id]; !ok {
+			return fmt.Errorf("experiments: ordered id %q is not registered", id)
+		}
+	}
+	for id := range Registry {
+		if !inOrder[id] {
+			return fmt.Errorf("experiments: registered id %q missing from experimentOrder", id)
+		}
+	}
+	return nil
 }
 
 // Fig9BothResult pairs the two Fig. 9 heatmaps.

@@ -27,28 +27,37 @@ type Table3Result struct {
 	Rows []Table3Row
 }
 
-// Table3 evaluates all five monitors on both simulators with clean inputs.
+// Table3 evaluates all five monitors on both simulators with clean inputs,
+// one (simulator, monitor) pair per sweep cell.
 func Table3(a *Assets) (*Table3Result, error) {
+	rows, err := runPairs(a, MonitorNames, tagTable3, func(c *GridCell) (Table3Row, error) {
+		m, err := c.SA.Monitor(c.Monitor)
+		if err != nil {
+			return Table3Row{}, err
+		}
+		conf, err := Score(m, c.SA.Test, a.Config.ToleranceDelta, nil)
+		if err != nil {
+			return Table3Row{}, fmt.Errorf("table3: %s on %v: %w", c.Monitor, c.Sim, err)
+		}
+		return Table3Row{
+			Simulator:  c.Sim.String(),
+			Monitor:    c.Monitor,
+			Episodes:   len(c.SA.Full.EpisodeIndex),
+			Samples:    c.SA.Full.Len(),
+			Accuracy:   conf.Accuracy(),
+			F1:         conf.F1(),
+			Precision:  conf.Precision(),
+			Recall:     conf.Recall(),
+			UnsafeFrac: c.SA.Test.UnsafeFraction(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	res := &Table3Result{}
 	for _, simu := range Simulators {
-		sa := a.Sims[simu]
 		for _, name := range MonitorNames {
-			m := sa.Monitors[name]
-			c, err := Score(m, sa.Test, a.Config.ToleranceDelta, nil)
-			if err != nil {
-				return nil, fmt.Errorf("table3: %s on %v: %w", name, simu, err)
-			}
-			res.Rows = append(res.Rows, Table3Row{
-				Simulator:  simu.String(),
-				Monitor:    name,
-				Episodes:   len(sa.Full.EpisodeIndex),
-				Samples:    sa.Full.Len(),
-				Accuracy:   c.Accuracy(),
-				F1:         c.F1(),
-				Precision:  c.Precision(),
-				Recall:     c.Recall(),
-				UnsafeFrac: sa.Test.UnsafeFraction(),
-			})
+			res.Rows = append(res.Rows, rows[simu.String()][name])
 		}
 	}
 	return res, nil

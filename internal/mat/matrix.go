@@ -147,14 +147,30 @@ func (m *Matrix) String() string {
 	return s + "]"
 }
 
-// MatMul returns a × b.
+// MatMul returns a × b. Products above a size cutoff are computed by
+// row-blocks across SetParallelism goroutines; the result is byte-identical
+// to the serial path because each output row keeps its serial arithmetic
+// order.
 func MatMul(a, b *Matrix) (*Matrix, error) {
 	if a.cols != b.rows {
 		return nil, fmt.Errorf("%w: MatMul %dx%d × %dx%d", ErrShape, a.rows, a.cols, b.rows, b.cols)
 	}
 	out := New(a.rows, b.cols)
-	// ikj loop order: streams through b rows for cache friendliness.
-	for i := 0; i < a.rows; i++ {
+	workers := Parallelism()
+	if workers > 1 && a.rows*a.cols*b.cols >= parallelFlopCutoff {
+		parallelRowBlocks(a.rows, workers, func(lo, hi int) {
+			matMulRows(out, a, b, lo, hi)
+		})
+	} else {
+		matMulRows(out, a, b, 0, a.rows)
+	}
+	return out, nil
+}
+
+// matMulRows computes rows [lo, hi) of out = a × b with the ikj loop order:
+// it streams through b rows for cache friendliness.
+func matMulRows(out, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		arow := a.data[i*a.cols : (i+1)*a.cols]
 		orow := out.data[i*out.cols : (i+1)*out.cols]
 		for k, av := range arow {
@@ -167,16 +183,27 @@ func MatMul(a, b *Matrix) (*Matrix, error) {
 			}
 		}
 	}
-	return out, nil
 }
 
-// MatMulT returns a × bᵀ.
+// MatMulT returns a × bᵀ, with the same row-blocked parallel path as MatMul.
 func MatMulT(a, b *Matrix) (*Matrix, error) {
 	if a.cols != b.cols {
 		return nil, fmt.Errorf("%w: MatMulT %dx%d × (%dx%d)ᵀ", ErrShape, a.rows, a.cols, b.rows, b.cols)
 	}
 	out := New(a.rows, b.rows)
-	for i := 0; i < a.rows; i++ {
+	workers := Parallelism()
+	if workers > 1 && a.rows*a.cols*b.rows >= parallelFlopCutoff {
+		parallelRowBlocks(a.rows, workers, func(lo, hi int) {
+			matMulTRows(out, a, b, lo, hi)
+		})
+	} else {
+		matMulTRows(out, a, b, 0, a.rows)
+	}
+	return out, nil
+}
+
+func matMulTRows(out, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		arow := a.data[i*a.cols : (i+1)*a.cols]
 		for j := 0; j < b.rows; j++ {
 			brow := b.data[j*b.cols : (j+1)*b.cols]
@@ -187,7 +214,6 @@ func MatMulT(a, b *Matrix) (*Matrix, error) {
 			out.data[i*out.cols+j] = sum
 		}
 	}
-	return out, nil
 }
 
 // TMatMul returns aᵀ × b.

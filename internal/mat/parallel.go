@@ -1,0 +1,63 @@
+package mat
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelism holds the configured worker count for blocked matrix products;
+// 0 selects runtime.GOMAXPROCS(0).
+var parallelism atomic.Int32
+
+// SetParallelism sets the number of goroutines the large matrix products fan
+// out to. n <= 0 restores the default (runtime.GOMAXPROCS(0)); n == 1
+// disables the parallel path entirely. Results are byte-identical at every
+// setting: each output row is computed by exactly one goroutine with the
+// same arithmetic order as the serial loop.
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	parallelism.Store(int32(n))
+}
+
+// Parallelism returns the resolved worker count for blocked matrix products.
+func Parallelism() int {
+	if n := int(parallelism.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelFlopCutoff is the minimum multiply-accumulate count at which the
+// goroutine fan-out pays for itself; below it the spawn/join overhead
+// dominates. 1<<16 ≈ a 64×64 × 64×16 product.
+const parallelFlopCutoff = 1 << 16
+
+// parallelRowBlocks splits [0, rows) into one contiguous block per worker
+// and runs body on each block concurrently. body must only write state owned
+// by its row range.
+//
+// Note on nesting: sweep-level parallelism (experiments.SetWorkers) and this
+// fan-out multiply — P concurrent sweep cells each spawning P row blocks can
+// oversubscribe the scheduler on cold runs. Goroutines are cheap enough that
+// this degrades gracefully, but coordinating the two budgets is an open
+// ROADMAP item; set SetParallelism(1) to confine parallelism to the sweep
+// level.
+func parallelRowBlocks(rows, workers int, body func(lo, hi int)) {
+	if workers > rows {
+		workers = rows
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		lo := rows * w / workers
+		hi := rows * (w + 1) / workers
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

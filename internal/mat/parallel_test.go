@@ -1,0 +1,91 @@
+package mat
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestParallelMatMulMatchesSerial checks the acceptance property of the
+// blocked path: at every parallelism setting the product is byte-identical
+// to the serial loop, including ragged row counts that do not divide evenly
+// across workers.
+func TestParallelMatMulMatchesSerial(t *testing.T) {
+	defer SetParallelism(0)
+	rng := rand.New(rand.NewSource(3))
+	shapes := []struct{ m, k, n int }{
+		{1, 1, 1}, {3, 5, 2}, {17, 31, 13}, {64, 64, 64}, {129, 65, 70}, {200, 40, 300},
+	}
+	for _, s := range shapes {
+		a := RandNormal(rng, s.m, s.k, 1)
+		b := RandNormal(rng, s.k, s.n, 1)
+		SetParallelism(1)
+		serial, err := MatMul(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serialT, err := MatMulT(a, b.Transpose())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 3, 8, 1000} {
+			SetParallelism(workers)
+			par, err := MatMul(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !Equal(serial, par, 0) {
+				t.Fatalf("%dx%dx%d workers=%d: MatMul differs from serial", s.m, s.k, s.n, workers)
+			}
+			parT, err := MatMulT(a, b.Transpose())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !Equal(serialT, parT, 0) {
+				t.Fatalf("%dx%dx%d workers=%d: MatMulT differs from serial", s.m, s.k, s.n, workers)
+			}
+		}
+	}
+}
+
+func TestSetParallelism(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(3)
+	if Parallelism() != 3 {
+		t.Fatalf("Parallelism() = %d, want 3", Parallelism())
+	}
+	SetParallelism(0)
+	if Parallelism() < 1 {
+		t.Fatalf("default parallelism %d, want >= 1", Parallelism())
+	}
+	SetParallelism(-5)
+	if Parallelism() < 1 {
+		t.Fatal("negative setting must fall back to default")
+	}
+}
+
+// BenchmarkMatMul sweeps square product sizes with the parallel path off and
+// on, so the crossover point of the row-blocked fan-out is measured rather
+// than asserted.
+func BenchmarkMatMul(b *testing.B) {
+	defer SetParallelism(0)
+	rng := rand.New(rand.NewSource(5))
+	for _, size := range []int{32, 64, 128, 256, 512} {
+		x := RandNormal(rng, size, size, 1)
+		y := RandNormal(rng, size, size, 1)
+		for _, mode := range []struct {
+			name    string
+			workers int
+		}{{"serial", 1}, {"parallel", 0}} {
+			b.Run(fmt.Sprintf("%s/n=%d", mode.name, size), func(b *testing.B) {
+				SetParallelism(mode.workers)
+				b.SetBytes(int64(8 * size * size))
+				for i := 0; i < b.N; i++ {
+					if _, err := MatMul(x, y); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -33,6 +33,14 @@ func (r *ReLU) Forward(x *mat.Matrix) (*mat.Matrix, error) {
 	return x.Apply(func(v float64) float64 { return math.Max(0, v) }), nil
 }
 
+// Infer implements Layer.
+func (r *ReLU) Infer(x *mat.Matrix) (*mat.Matrix, error) {
+	return x.Apply(func(v float64) float64 { return math.Max(0, v) }), nil
+}
+
+// CloneLayer implements Layer.
+func (r *ReLU) CloneLayer() Layer { return &ReLU{} }
+
 // Backward implements Layer.
 func (r *ReLU) Backward(gradOut *mat.Matrix) (*mat.Matrix, error) {
 	if r.mask == nil {
@@ -70,6 +78,14 @@ func (t *Tanh) Forward(x *mat.Matrix) (*mat.Matrix, error) {
 	return t.out, nil
 }
 
+// Infer implements Layer.
+func (t *Tanh) Infer(x *mat.Matrix) (*mat.Matrix, error) {
+	return x.Apply(math.Tanh), nil
+}
+
+// CloneLayer implements Layer.
+func (t *Tanh) CloneLayer() Layer { return &Tanh{} }
+
 // Backward implements Layer.
 func (t *Tanh) Backward(gradOut *mat.Matrix) (*mat.Matrix, error) {
 	if t.out == nil {
@@ -103,6 +119,14 @@ func (s *Sigmoid) Forward(x *mat.Matrix) (*mat.Matrix, error) {
 	s.out = x.Apply(sigmoid)
 	return s.out, nil
 }
+
+// Infer implements Layer.
+func (s *Sigmoid) Infer(x *mat.Matrix) (*mat.Matrix, error) {
+	return x.Apply(sigmoid), nil
+}
+
+// CloneLayer implements Layer.
+func (s *Sigmoid) CloneLayer() Layer { return &Sigmoid{} }
 
 // Backward implements Layer.
 func (s *Sigmoid) Backward(gradOut *mat.Matrix) (*mat.Matrix, error) {

@@ -1,0 +1,175 @@
+package nn
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func testModels(t *testing.T) map[string]*Model {
+	t.Helper()
+	rng := rand.New(rand.NewSource(8))
+	mlp, err := NewMLPClassifier(rng, 8, MLPConfig{Hidden1: 16, Hidden2: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lstm, err := NewLSTMClassifier(rng, 6, LSTMConfig{Hidden1: 8, Hidden2: 4, Steps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*Model{"mlp": mlp, "lstm": lstm}
+}
+
+// TestInferMatchesForward pins the contract of the inference path: identical
+// numbers to Forward, with no backward state recorded.
+func TestInferMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for name, m := range testModels(t) {
+		x := mat.RandNormal(rng, 7, m.InputSize(), 1)
+		fwd, err := m.Forward(x)
+		if err != nil {
+			t.Fatalf("%s forward: %v", name, err)
+		}
+		inf, err := m.Infer(x)
+		if err != nil {
+			t.Fatalf("%s infer: %v", name, err)
+		}
+		if !mat.Equal(fwd, inf, 0) {
+			t.Fatalf("%s: Infer differs from Forward", name)
+		}
+	}
+}
+
+// TestConcurrentInference hammers a shared model from many goroutines; run
+// under -race this is the proof that the inference path records no state.
+func TestConcurrentInference(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for name, m := range testModels(t) {
+		x := mat.RandNormal(rng, 16, m.InputSize(), 1)
+		want, err := m.PredictClasses(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, 8)
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for rep := 0; rep < 20; rep++ {
+					got, err := m.PredictClasses(x)
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Errorf("%s worker %d: prediction drifted", name, w)
+							return
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestCloneIsIndependent checks that gradient work on a clone leaves the
+// original untouched — the property parallel FGSM cells rely on.
+func TestCloneIsIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for name, m := range testModels(t) {
+		x := mat.RandNormal(rng, 12, m.InputSize(), 1)
+		labels := make([]int, 12)
+		for i := range labels {
+			labels[i] = i % 2
+		}
+		before, err := m.Infer(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clone, err := m.Clone()
+		if err != nil {
+			t.Fatalf("%s clone: %v", name, err)
+		}
+		cloneOut, err := clone.Infer(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !mat.Equal(before, cloneOut, 0) {
+			t.Fatalf("%s: clone predicts differently", name)
+		}
+		// Train the clone; the original's weights and outputs must not move.
+		opt := NewAdam(0.05)
+		for step := 0; step < 3; step++ {
+			if _, err := clone.TrainBatch(x, labels, nil, opt); err != nil {
+				t.Fatal(err)
+			}
+		}
+		after, err := m.Infer(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !mat.Equal(before, after, 0) {
+			t.Fatalf("%s: training a clone mutated the original", name)
+		}
+		changed, err := clone.Infer(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mat.Equal(before, changed, 0) {
+			t.Fatalf("%s: training the clone had no effect (shared weights?)", name)
+		}
+	}
+}
+
+// TestConcurrentInputGradientOnClones runs FGSM-style gradient passes on
+// per-goroutine clones of one model; under -race this validates the
+// clone-per-cell pattern of the experiment sweeps.
+func TestConcurrentInputGradientOnClones(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for name, m := range testModels(t) {
+		x := mat.RandNormal(rng, 10, m.InputSize(), 1)
+		labels := make([]int, 10)
+		for i := range labels {
+			labels[i] = i % 2
+		}
+		ref, err := m.Clone()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.InputGradient(x, labels, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < 6; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				clone, err := m.Clone()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				got, err := clone.InputGradient(x, labels, nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !mat.Equal(want, got, 0) {
+					t.Errorf("%s: clone gradient differs", name)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}

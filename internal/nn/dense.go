@@ -44,10 +44,15 @@ func (d *Dense) OutputSize(inputSize int) (int, error) {
 
 // Forward implements Layer.
 func (d *Dense) Forward(x *mat.Matrix) (*mat.Matrix, error) {
+	d.lastInput = x
+	return d.Infer(x)
+}
+
+// Infer implements Layer: the forward product without the backward cache.
+func (d *Dense) Infer(x *mat.Matrix) (*mat.Matrix, error) {
 	if x.Cols() != d.in {
 		return nil, fmt.Errorf("nn: dense forward: %d input cols, want %d", x.Cols(), d.in)
 	}
-	d.lastInput = x
 	y, err := mat.MatMul(x, d.w.W)
 	if err != nil {
 		return nil, fmt.Errorf("nn: dense forward: %w", err)
@@ -56,6 +61,11 @@ func (d *Dense) Forward(x *mat.Matrix) (*mat.Matrix, error) {
 		return nil, fmt.Errorf("nn: dense forward bias: %w", err)
 	}
 	return y, nil
+}
+
+// CloneLayer implements Layer.
+func (d *Dense) CloneLayer() Layer {
+	return &Dense{in: d.in, out: d.out, w: cloneParam(d.w), b: cloneParam(d.b)}
 }
 
 // Backward implements Layer.

@@ -32,18 +32,36 @@ func newParam(name string, w *mat.Matrix) *Param {
 // Layer is a differentiable module. Forward caches whatever Backward needs;
 // Backward consumes the gradient w.r.t. the layer output, accumulates
 // parameter gradients, and returns the gradient w.r.t. the layer input.
+//
+// Forward/Backward are single-goroutine training paths. Infer computes the
+// same output without recording backward state, so any number of goroutines
+// may Infer through a shared trained layer concurrently — the property the
+// parallel experiment sweeps rely on. Gradient work under concurrency goes
+// through CloneLayer (via Model.Clone) instead.
 type Layer interface {
 	// Name identifies the layer type for serialization.
 	Name() string
 	// OutputSize reports the number of output features for a given number of
 	// input features, used for shape validation when stacking.
 	OutputSize(inputSize int) (int, error)
-	// Forward computes the layer output for a batch.
+	// Forward computes the layer output for a batch and records the state
+	// Backward needs.
 	Forward(x *mat.Matrix) (*mat.Matrix, error)
+	// Infer computes the layer output without recording backward state; safe
+	// for concurrent use on a shared layer.
+	Infer(x *mat.Matrix) (*mat.Matrix, error)
 	// Backward propagates gradients; must follow a Forward call.
 	Backward(gradOut *mat.Matrix) (*mat.Matrix, error)
+	// CloneLayer deep-copies the layer: independent parameters, gradient
+	// accumulators and caches.
+	CloneLayer() Layer
 	// Params returns the trainable parameters (nil for stateless layers).
 	Params() []*Param
+}
+
+// cloneParam deep-copies a parameter with a fresh (zeroed) gradient.
+func cloneParam(p *Param) *Param {
+	return newParam(p.Name, p.W.Clone())
 }
 
 // ZeroGrads clears the gradient accumulators of all params.

@@ -91,20 +91,42 @@ func (l *LSTM) OutputSize(inputSize int) (int, error) {
 
 // Forward implements Layer.
 func (l *LSTM) Forward(x *mat.Matrix) (*mat.Matrix, error) {
+	out, cache, err := l.run(x, true)
+	if err != nil {
+		return nil, err
+	}
+	l.cache = cache
+	return out, nil
+}
+
+// Infer implements Layer: the unrolled forward pass without the backward
+// cache, so concurrent goroutines can share one trained layer.
+func (l *LSTM) Infer(x *mat.Matrix) (*mat.Matrix, error) {
+	out, _, err := l.run(x, false)
+	return out, err
+}
+
+// run unrolls the recurrence. With record set it returns the per-step
+// activations Backward consumes; without, it only materializes the states of
+// the current step and touches no layer fields.
+func (l *LSTM) run(x *mat.Matrix, record bool) (*mat.Matrix, *lstmCache, error) {
 	if x.Cols() != l.steps*l.inputSize {
-		return nil, fmt.Errorf("nn: lstm forward: %d input cols, want %d", x.Cols(), l.steps*l.inputSize)
+		return nil, nil, fmt.Errorf("nn: lstm forward: %d input cols, want %d", x.Cols(), l.steps*l.inputSize)
 	}
 	batch := x.Rows()
-	c := &lstmCache{
-		batch: batch,
-		xs:    make([]*mat.Matrix, l.steps),
-		is:    make([]*mat.Matrix, l.steps),
-		fs:    make([]*mat.Matrix, l.steps),
-		gs:    make([]*mat.Matrix, l.steps),
-		os:    make([]*mat.Matrix, l.steps),
-		cs:    make([]*mat.Matrix, l.steps),
-		hs:    make([]*mat.Matrix, l.steps),
-		tcs:   make([]*mat.Matrix, l.steps),
+	var c *lstmCache
+	if record {
+		c = &lstmCache{
+			batch: batch,
+			xs:    make([]*mat.Matrix, l.steps),
+			is:    make([]*mat.Matrix, l.steps),
+			fs:    make([]*mat.Matrix, l.steps),
+			gs:    make([]*mat.Matrix, l.steps),
+			os:    make([]*mat.Matrix, l.steps),
+			cs:    make([]*mat.Matrix, l.steps),
+			hs:    make([]*mat.Matrix, l.steps),
+			tcs:   make([]*mat.Matrix, l.steps),
+		}
 	}
 	h := mat.New(batch, l.hidden)
 	cell := mat.New(batch, l.hidden)
@@ -116,23 +138,22 @@ func (l *LSTM) Forward(x *mat.Matrix) (*mat.Matrix, error) {
 	for t := 0; t < l.steps; t++ {
 		xt, err := x.SliceCols(t*l.inputSize, (t+1)*l.inputSize)
 		if err != nil {
-			return nil, fmt.Errorf("nn: lstm forward step %d: %w", t, err)
+			return nil, nil, fmt.Errorf("nn: lstm forward step %d: %w", t, err)
 		}
-		c.xs[t] = xt
 
 		z, err := mat.MatMul(xt, l.wx.W)
 		if err != nil {
-			return nil, fmt.Errorf("nn: lstm forward Wx step %d: %w", t, err)
+			return nil, nil, fmt.Errorf("nn: lstm forward Wx step %d: %w", t, err)
 		}
 		zh, err := mat.MatMul(h, l.wh.W)
 		if err != nil {
-			return nil, fmt.Errorf("nn: lstm forward Wh step %d: %w", t, err)
+			return nil, nil, fmt.Errorf("nn: lstm forward Wh step %d: %w", t, err)
 		}
 		if err := z.AddInPlace(zh); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if err := z.AddRowVector(l.b.W); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 
 		H := l.hidden
@@ -151,24 +172,39 @@ func (l *LSTM) Forward(x *mat.Matrix) (*mat.Matrix, error) {
 		tc := newCell.Apply(math.Tanh)
 		newH, err := mat.Hadamard(ot, tc)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 
-		c.is[t], c.fs[t], c.gs[t], c.os[t] = it, ft, gt, ot
-		c.cs[t], c.hs[t], c.tcs[t] = newCell, newH, tc
+		if record {
+			c.xs[t] = xt
+			c.is[t], c.fs[t], c.gs[t], c.os[t] = it, ft, gt, ot
+			c.cs[t], c.hs[t], c.tcs[t] = newCell, newH, tc
+		}
 		cell, h = newCell, newH
 
 		if l.returnSeqs {
 			if err := seqOut.SetCols(t*l.hidden, h); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 	}
-	l.cache = c
 	if l.returnSeqs {
-		return seqOut, nil
+		return seqOut, c, nil
 	}
-	return h.Clone(), nil
+	return h.Clone(), c, nil
+}
+
+// CloneLayer implements Layer.
+func (l *LSTM) CloneLayer() Layer {
+	return &LSTM{
+		inputSize:  l.inputSize,
+		hidden:     l.hidden,
+		steps:      l.steps,
+		returnSeqs: l.returnSeqs,
+		wx:         cloneParam(l.wx),
+		wh:         cloneParam(l.wh),
+		b:          cloneParam(l.b),
+	}
 }
 
 // gateSlice extracts columns [from, from+width) of z and applies fn.

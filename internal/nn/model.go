@@ -66,7 +66,9 @@ func (m *Model) Params() []*Param {
 	return ps
 }
 
-// Forward runs the stack and returns the logits.
+// Forward runs the stack and returns the logits, recording the per-layer
+// state backward passes need. Training-path only: not safe for concurrent
+// use on a shared model (use Infer, or Clone the model first).
 func (m *Model) Forward(x *mat.Matrix) (*mat.Matrix, error) {
 	if x.Cols() != m.inSize {
 		return nil, fmt.Errorf("nn: model forward: %d input cols, want %d", x.Cols(), m.inSize)
@@ -82,18 +84,38 @@ func (m *Model) Forward(x *mat.Matrix) (*mat.Matrix, error) {
 	return out, nil
 }
 
-// Predict returns class probabilities (softmax of the logits).
+// Infer runs the stack without recording backward state, so any number of
+// goroutines may share one trained model — the inference path under the
+// parallel experiment sweeps.
+func (m *Model) Infer(x *mat.Matrix) (*mat.Matrix, error) {
+	if x.Cols() != m.inSize {
+		return nil, fmt.Errorf("nn: model infer: %d input cols, want %d", x.Cols(), m.inSize)
+	}
+	out := x
+	var err error
+	for i, l := range m.layers {
+		out, err = l.Infer(out)
+		if err != nil {
+			return nil, fmt.Errorf("nn: infer layer %d (%s): %w", i, l.Name(), err)
+		}
+	}
+	return out, nil
+}
+
+// Predict returns class probabilities (softmax of the logits). Safe for
+// concurrent use on a shared model.
 func (m *Model) Predict(x *mat.Matrix) (*mat.Matrix, error) {
-	logits, err := m.Forward(x)
+	logits, err := m.Infer(x)
 	if err != nil {
 		return nil, err
 	}
 	return Softmax(logits), nil
 }
 
-// PredictClasses returns the argmax class per row.
+// PredictClasses returns the argmax class per row. Safe for concurrent use
+// on a shared model.
 func (m *Model) PredictClasses(x *mat.Matrix) ([]int, error) {
-	logits, err := m.Forward(x)
+	logits, err := m.Infer(x)
 	if err != nil {
 		return nil, err
 	}
@@ -140,14 +162,27 @@ func (m *Model) TrainBatch(x *mat.Matrix, labels []int, knowledge []float64, opt
 	return loss, nil
 }
 
-// EvalLoss computes the loss on a batch without updating parameters.
+// EvalLoss computes the loss on a batch without updating parameters. Safe
+// for concurrent use on a shared model.
 func (m *Model) EvalLoss(x *mat.Matrix, labels []int, knowledge []float64) (float64, error) {
-	logits, err := m.Forward(x)
+	logits, err := m.Infer(x)
 	if err != nil {
 		return 0, err
 	}
 	loss, _, err := m.loss.Compute(logits, labels, knowledge)
 	return loss, err
+}
+
+// InputGradient and TrainBatch mutate per-layer backward caches and the
+// shared gradient accumulators, so they must not run concurrently on one
+// model. Clone gives each goroutine an independent copy for gradient work
+// (e.g. parallel FGSM cells) at the cost of copying the weights.
+func (m *Model) Clone() (*Model, error) {
+	layers := make([]Layer, len(m.layers))
+	for i, l := range m.layers {
+		layers[i] = l.CloneLayer()
+	}
+	return NewModel(m.inSize, m.loss, layers...)
 }
 
 // InputGradient returns d(loss)/d(input) for a batch — the quantity FGSM

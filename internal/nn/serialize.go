@@ -131,22 +131,3 @@ func Load(r io.Reader) (*Model, error) {
 	}
 	return NewModel(spec.InputSize, loss, layers...)
 }
-
-// Clone deep-copies a model (architecture, weights and loss) via the
-// serialization round trip.
-func (m *Model) Clone() (*Model, error) {
-	pr, pw := io.Pipe()
-	errc := make(chan error, 1)
-	go func() {
-		errc <- m.Save(pw)
-		pw.Close()
-	}()
-	clone, err := Load(pr)
-	if err != nil {
-		return nil, err
-	}
-	if serr := <-errc; serr != nil {
-		return nil, serr
-	}
-	return clone, nil
-}
