@@ -12,6 +12,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/artifact"
 	"repro/internal/attack"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
@@ -80,6 +81,39 @@ func BenchmarkSweepSerial(b *testing.B) { benchSweep(b, 1) }
 // against BenchmarkSweepSerial measures the executor's speedup (the output
 // is byte-identical — see experiments.TestSweepDeterminism).
 func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 0) }
+
+// BenchmarkWarmAssets measures a fully warm artifact-store pass: building
+// assets and resolving all four ML monitors per simulator from disk, the
+// work a repeat `apsexperiments` run pays instead of simulating and
+// training. Compare against BenchmarkTable3 (which includes one lazy
+// training pass on its first iteration) for the cache's leverage.
+func BenchmarkWarmAssets(b *testing.B) {
+	disk, err := artifact.NewDisk(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	experiments.SetStore(disk)
+	defer experiments.SetStore(nil)
+	cfg := experiments.Bench()
+	warmAll := func() {
+		a, err := experiments.Build(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, simu := range experiments.Simulators {
+			for _, name := range experiments.MLMonitorNames {
+				if _, err := a.Sims[simu].Monitor(name); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	warmAll() // cold pass populates the store
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		warmAll()
+	}
+}
 
 // BenchmarkTable3 regenerates Table III (clean-input ACC/F1 of all five
 // monitors on both simulators).

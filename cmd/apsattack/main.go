@@ -6,13 +6,21 @@
 //
 //	apsattack [-sim glucosym|t1ds] [-arch mlp|lstm] [-semantic]
 //	          [-attack gaussian|fgsm|blackbox] [-level σ|ε]
+//	          [-cache DIR] [-no-cache]
+//
+// The campaign and the target monitor are cached content-addressed under
+// -cache (default $APSREPRO_CACHE or ~/.cache/apsrepro), so repeated attack
+// runs against the same training setup skip simulation and training and go
+// straight to the attack. Cache events are logged to stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 
+	"repro/internal/artifact"
 	"repro/internal/attack"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
@@ -35,7 +43,9 @@ func run() error {
 	level := flag.Float64("level", 0.1, "σ (gaussian) or ε (fgsm/blackbox)")
 	epochs := flag.Int("epochs", 15, "training epochs")
 	seed := flag.Int64("seed", 1, "seed")
+	cache := artifact.AddFlags(flag.CommandLine)
 	flag.Parse()
+	store := cache.Open(log.Printf)
 
 	var simu dataset.Simulator
 	switch *simName {
@@ -56,17 +66,19 @@ func run() error {
 		return fmt.Errorf("unknown architecture %q", *arch)
 	}
 
-	ds, err := dataset.Generate(dataset.CampaignConfig{
+	camp := dataset.CampaignConfig{
 		Simulator: simu, Profiles: 10, EpisodesPerProfile: 4, Steps: 150, Seed: *seed,
-	})
+	}
+	const trainFrac = 0.75
+	ds, _, err := experiments.CachedCampaign(store, camp)
 	if err != nil {
 		return err
 	}
-	train, test, err := ds.Split(0.75)
+	train, test, err := ds.Split(trainFrac)
 	if err != nil {
 		return err
 	}
-	m, err := monitor.Train(train, monitor.TrainConfig{
+	m, _, err := experiments.CachedMonitor(store, train, camp, trainFrac, monitor.TrainConfig{
 		Arch: a, Semantic: *semantic, Epochs: *epochs, Seed: *seed,
 	})
 	if err != nil {

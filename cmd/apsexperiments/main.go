@@ -4,23 +4,33 @@
 //
 //	apsexperiments [-exp table3|fig1b|fig2|...|all] [-scale bench|default|paper]
 //	               [-profiles N] [-episodes N] [-steps N] [-epochs N] [-seed N]
-//	               [-parallel N]
+//	               [-parallel N] [-cache DIR] [-no-cache]
 //
 // -parallel sets how many goroutines the experiment sweeps and large matrix
-// products fan out to (default: all cores). Output is byte-identical for any
-// worker count: per-cell RNG seeds derive from the config seed and the cell
-// index, never from scheduling.
+// products fan out to (default: all cores), and doubles as the shared worker
+// budget that keeps the two layers from multiplying. Output is byte-identical
+// for any worker count: per-cell RNG seeds derive from the config seed and
+// the cell index, never from scheduling.
+//
+// Generated campaigns and trained monitors are cached content-addressed
+// under -cache (default $APSREPRO_CACHE or ~/.cache/apsrepro), so a second
+// run with an identical configuration skips all simulation and training and
+// produces byte-identical output. Cache events are logged to stderr; stdout
+// carries only the experiment artifacts. -no-cache disables persistence.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"runtime"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/experiments"
 	"repro/internal/mat"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -40,6 +50,7 @@ func run() error {
 	seed := flag.Int64("seed", 0, "override: campaign/training seed")
 	weight := flag.Float64("semantic-weight", 0, "override: semantic loss weight w")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for sweeps and matrix products (1 = serial)")
+	cache := artifact.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *parallel < 1 {
@@ -47,6 +58,8 @@ func run() error {
 	}
 	experiments.SetWorkers(*parallel)
 	mat.SetParallelism(*parallel)
+	sweep.SetBudget(*parallel)
+	experiments.SetStore(cache.Open(log.Printf))
 
 	var cfg experiments.Config
 	switch *scale {

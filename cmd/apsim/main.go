@@ -4,6 +4,11 @@
 // Usage:
 //
 //	apsim [-sim glucosym|t1ds] [-profile N] [-steps N] [-seed N] [-fault] [-csv]
+//	      [-cache DIR] [-no-cache]
+//
+// -cache/-no-cache are accepted for uniformity with the rest of the
+// toolchain; a single episode simulates in milliseconds, so apsim has no
+// cacheable artifacts and the store is never written.
 package main
 
 import (
@@ -11,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/artifact"
 	"repro/internal/sim"
 )
 
@@ -28,6 +34,7 @@ func run() error {
 	seed := flag.Int64("seed", 1, "episode seed")
 	fault := flag.Bool("fault", false, "inject a random pump fault")
 	csv := flag.Bool("csv", false, "emit CSV instead of a table")
+	_ = artifact.AddFlags(flag.CommandLine) // uniform flags; no cacheable artifacts here
 	flag.Parse()
 
 	ec := sim.EpisodeConfig{ProfileID: *profile, Seed: *seed, Faulty: *fault}

@@ -6,13 +6,21 @@
 //
 //	apstrain [-sim glucosym|t1ds] [-arch mlp|lstm] [-semantic] [-epochs N]
 //	         [-profiles N] [-episodes N] [-steps N] [-out model.json]
+//	         [-cache DIR] [-no-cache]
+//
+// Campaigns and trained monitors are cached content-addressed under -cache
+// (default $APSREPRO_CACHE or ~/.cache/apsrepro): rerunning with identical
+// settings loads both instead of regenerating and retraining. Cache events
+// are logged to stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 
+	"repro/internal/artifact"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/monitor"
@@ -36,7 +44,9 @@ func run() error {
 	steps := flag.Int("steps", 150, "steps per episode")
 	seed := flag.Int64("seed", 1, "seed")
 	out := flag.String("out", "", "write the trained model JSON here")
+	cache := artifact.AddFlags(flag.CommandLine)
 	flag.Parse()
+	store := cache.Open(log.Printf)
 
 	var simu dataset.Simulator
 	switch *simName {
@@ -57,26 +67,32 @@ func run() error {
 		return fmt.Errorf("unknown architecture %q", *arch)
 	}
 
-	fmt.Printf("generating campaign (%s, %d profiles × %d episodes × %d steps)...\n",
-		simu, *profiles, *episodes, *steps)
-	ds, err := dataset.Generate(dataset.CampaignConfig{
+	camp := dataset.CampaignConfig{
 		Simulator:          simu,
 		Profiles:           *profiles,
 		EpisodesPerProfile: *episodes,
 		Steps:              *steps,
 		Seed:               *seed,
-	})
+	}
+	const trainFrac = 0.75
+	ds, hit, err := experiments.CachedCampaign(store, camp)
 	if err != nil {
 		return err
 	}
-	train, test, err := ds.Split(0.75)
+	source := "generated"
+	if hit {
+		source = "loaded from artifact cache"
+	}
+	fmt.Printf("campaign %s (%s, %d profiles × %d episodes × %d steps)\n",
+		source, simu, *profiles, *episodes, *steps)
+	train, test, err := ds.Split(trainFrac)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("dataset: %d samples (%.1f%% unsafe), train %d / test %d\n",
 		ds.Len(), 100*ds.UnsafeFraction(), train.Len(), test.Len())
 
-	m, err := monitor.Train(train, monitor.TrainConfig{
+	m, hit, err := experiments.CachedMonitor(store, train, camp, trainFrac, monitor.TrainConfig{
 		Arch:           a,
 		Semantic:       *semantic,
 		SemanticWeight: *weight,
@@ -85,6 +101,9 @@ func run() error {
 	})
 	if err != nil {
 		return err
+	}
+	if hit {
+		fmt.Println("monitor loaded from artifact cache (training skipped)")
 	}
 	c, err := experiments.Score(m, test, 12, nil)
 	if err != nil {

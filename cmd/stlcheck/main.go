@@ -7,6 +7,10 @@
 //	apsim -sim glucosym -fault -csv > trace.csv
 //	stlcheck -trace trace.csv -formula 'F[0,12](true_bg > 180)'
 //	stlcheck -trace trace.csv -formula 'true_bg < 70' -all
+//
+// -cache/-no-cache are accepted for uniformity with the rest of the
+// toolchain; formula evaluation over a CSV trace is instantaneous, so
+// stlcheck has no cacheable artifacts and the store is never written.
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/artifact"
 	"repro/internal/stl"
 )
 
@@ -31,6 +36,7 @@ func run() error {
 	step := flag.Int("step", 0, "evaluation step")
 	all := flag.Bool("all", false, "evaluate at every step and summarize")
 	listSignals := flag.Bool("signals", false, "list the trace's signals and exit")
+	_ = artifact.AddFlags(flag.CommandLine) // uniform flags; no cacheable artifacts here
 	flag.Parse()
 
 	if *tracePath == "" {

@@ -1,0 +1,72 @@
+// Package artifact is a content-addressed store for the expensive products
+// of an experiment run: generated simulation campaigns and trained monitors.
+// Every artifact is identified by a Key — its kind, the format version of
+// the code that produced it, and a fingerprint of the canonicalized
+// producing configuration — so a warm run with an identical configuration
+// loads the cached bytes instead of recomputing, and any change to the
+// config, the encoding, or the producing code's declared version makes the
+// old entry unreachable (a miss, never an error).
+//
+// Stores are written to be safe under concurrency: the disk implementation
+// publishes entries with an atomic temp-file + rename, so parallel sweep
+// cells and concurrent processes never observe a partially written
+// artifact. Corrupt or stale entries (bad header, failed decode) are
+// discarded and recomputed rather than surfaced as errors — the cache is an
+// optimization, never a source of truth.
+package artifact
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+)
+
+// Key identifies one cacheable artifact.
+type Key struct {
+	// Kind names the artifact family, e.g. "campaign" or "monitor".
+	Kind string
+	// Version is the producing code's format version; bumping it orphans
+	// every previously cached entry of this kind.
+	Version int
+	// Fingerprint is a stable hash of the canonicalized producing config.
+	Fingerprint uint64
+}
+
+// String renders the key as it appears in cache paths and log lines.
+func (k Key) String() string {
+	return fmt.Sprintf("%s-v%d-%016x", k.Kind, k.Version, k.Fingerprint)
+}
+
+// Fingerprint hashes the canonical rendering of parts with FNV-1a. Parts
+// are formatted with %v and joined by a unit separator, so distinct
+// configurations produce distinct canonical strings (fields must be
+// emitted in a fixed order by the caller).
+func Fingerprint(parts ...any) uint64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%v\x1f", p)
+	}
+	return h.Sum64()
+}
+
+// Store is a two-phase artifact cache lookup. GetOrCreate first tries to
+// load the entry under key by calling decode on its payload; on any miss
+// (absent, stale, or corrupt) it calls create to produce the artifact in
+// memory, then encode to persist it for the next run.
+//
+// Errors from create always propagate — they mean the product itself could
+// not be built. Errors from decode or from persisting never do: the entry
+// is discarded (or simply not written) and the caller proceeds with the
+// freshly created product.
+type Store interface {
+	GetOrCreate(key Key, decode func(io.Reader) error, create func() error, encode func(io.Writer) error) (hit bool, err error)
+}
+
+// Disabled is the no-op Store: every lookup misses and nothing persists.
+// It is the default for tests and for runs with -no-cache.
+type Disabled struct{}
+
+// GetOrCreate implements Store by always invoking create.
+func (Disabled) GetOrCreate(_ Key, _ func(io.Reader) error, create func() error, _ func(io.Writer) error) (bool, error) {
+	return false, create()
+}

@@ -1,0 +1,137 @@
+package artifact
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// headerMagic starts every on-disk artifact; the full header line repeats
+// the key so a file that was copied, renamed, or produced by an
+// incompatible build is detected as stale and recomputed.
+const headerMagic = "apsrepro-artifact"
+
+// Disk is the file-backed Store. Entries live under
+// root/<kind>/v<version>/<fingerprint>.art, each prefixed with a one-line
+// header naming its key. Writes go through a temp file in the destination
+// directory followed by an atomic rename, so concurrent processes (and the
+// parallel sweep cells of one process) never observe a partial artifact.
+type Disk struct {
+	root string
+	// Logf, when set, receives one line per cache event (hit, store,
+	// discard). CLIs point it at the standard stderr logger so warm runs
+	// are observable without touching stdout.
+	Logf func(format string, args ...any)
+}
+
+// NewDisk opens (creating if needed) a disk store rooted at dir.
+func NewDisk(dir string) (*Disk, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("artifact: empty cache root")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("artifact: create cache root: %w", err)
+	}
+	return &Disk{root: dir}, nil
+}
+
+// Root returns the store's root directory.
+func (d *Disk) Root() string { return d.root }
+
+func (d *Disk) logf(format string, args ...any) {
+	if d.Logf != nil {
+		d.Logf(format, args...)
+	}
+}
+
+func (d *Disk) path(k Key) string {
+	return filepath.Join(d.root, k.Kind, fmt.Sprintf("v%d", k.Version), fmt.Sprintf("%016x.art", k.Fingerprint))
+}
+
+// GetOrCreate implements Store.
+func (d *Disk) GetOrCreate(key Key, decode func(io.Reader) error, create func() error, encode func(io.Writer) error) (bool, error) {
+	path := d.path(key)
+	if ok := d.tryLoad(key, path, decode); ok {
+		return true, nil
+	}
+	if err := create(); err != nil {
+		return false, err
+	}
+	d.persist(key, path, encode)
+	return false, nil
+}
+
+// tryLoad reads and validates a cached entry; any failure discards the
+// entry and reports a miss.
+func (d *Disk) tryLoad(key Key, path string, decode func(io.Reader) error) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false // absent (or unreadable): plain miss
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		d.discard(key, path, fmt.Errorf("truncated header"))
+		return false
+	}
+	if want := headerLine(key); strings.TrimSuffix(header, "\n") != strings.TrimSuffix(want, "\n") {
+		d.discard(key, path, fmt.Errorf("stale header %q", strings.TrimSpace(header)))
+		return false
+	}
+	if err := decode(br); err != nil {
+		d.discard(key, path, err)
+		return false
+	}
+	d.logf("artifact cache hit: %s (%s)", key, path)
+	return true
+}
+
+// discard removes a corrupt or stale entry so the next run recreates it.
+func (d *Disk) discard(key Key, path string, cause error) {
+	d.logf("artifact cache: discarding %s: %v", key, cause)
+	os.Remove(path)
+}
+
+// persist writes the entry atomically. Failures are logged and swallowed:
+// the caller already holds the freshly created product, and a read-only or
+// full cache must never fail the run.
+func (d *Disk) persist(key Key, path string, encode func(io.Writer) error) {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		d.logf("artifact cache: cannot create %s: %v", dir, err)
+		return
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		d.logf("artifact cache: cannot stage %s: %v", key, err)
+		return
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	bw := bufio.NewWriter(tmp)
+	_, err = io.WriteString(bw, headerLine(key))
+	if err == nil {
+		err = encode(bw)
+	}
+	if err == nil {
+		err = bw.Flush()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), path)
+	}
+	if err != nil {
+		d.logf("artifact cache: cannot persist %s: %v", key, err)
+		return
+	}
+	d.logf("artifact cache store: %s (%s)", key, path)
+}
+
+func headerLine(k Key) string {
+	return fmt.Sprintf("%s %s\n", headerMagic, k)
+}

@@ -1,0 +1,63 @@
+package artifact
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+)
+
+// EnvRoot is the environment variable overriding the default cache root.
+const EnvRoot = "APSREPRO_CACHE"
+
+// DefaultRoot returns the cache root the CLIs use when -cache is not
+// given: $APSREPRO_CACHE if set, else <user cache dir>/apsrepro
+// (~/.cache/apsrepro on Linux). An empty string means no usable default
+// exists and caching stays disabled.
+func DefaultRoot() string {
+	if env := os.Getenv(EnvRoot); env != "" {
+		return env
+	}
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return ""
+	}
+	return filepath.Join(base, "apsrepro")
+}
+
+// Flags holds the shared -cache/-no-cache CLI configuration. All five
+// binaries register the same pair so cache behavior is uniform across the
+// toolchain.
+type Flags struct {
+	// Root is the cache root directory (-cache).
+	Root string
+	// Disabled turns the artifact cache off entirely (-no-cache).
+	Disabled bool
+}
+
+// AddFlags registers -cache and -no-cache on fs and returns the bound
+// configuration; read it after fs.Parse.
+func AddFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.Root, "cache", DefaultRoot(), "artifact cache root for campaigns and trained monitors")
+	fs.BoolVar(&f.Disabled, "no-cache", false, "disable the artifact cache (always regenerate and retrain)")
+	return f
+}
+
+// Open resolves the parsed flags into a Store. -no-cache (or an unusable
+// root) yields the Disabled store; otherwise a Disk store logging cache
+// events through logf. The cache is an optimization, so an unopenable
+// root degrades to a warning, never an error.
+func (f *Flags) Open(logf func(format string, args ...any)) Store {
+	if f.Disabled || f.Root == "" {
+		return Disabled{}
+	}
+	d, err := NewDisk(f.Root)
+	if err != nil {
+		if logf != nil {
+			logf("artifact cache disabled: %v", err)
+		}
+		return Disabled{}
+	}
+	d.Logf = logf
+	return d
+}

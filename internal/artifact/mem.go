@@ -1,0 +1,73 @@
+package artifact
+
+import (
+	"bytes"
+	"io"
+	"sync"
+)
+
+// Mem is an in-memory Store with the same hit/miss/corruption semantics as
+// Disk but no filesystem. Tests use it to exercise warm-run paths without
+// touching a cache root; it is safe for concurrent use.
+type Mem struct {
+	mu      sync.Mutex
+	entries map[Key][]byte
+
+	// Counters for tests: lookups that hit, missed, and entries dropped
+	// because their payload failed to decode.
+	Hits, Misses, Discards int
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem {
+	return &Mem{entries: make(map[Key][]byte)}
+}
+
+// GetOrCreate implements Store.
+func (m *Mem) GetOrCreate(key Key, decode func(io.Reader) error, create func() error, encode func(io.Writer) error) (bool, error) {
+	m.mu.Lock()
+	payload, ok := m.entries[key]
+	m.mu.Unlock()
+	if ok {
+		if err := decode(bytes.NewReader(payload)); err == nil {
+			m.mu.Lock()
+			m.Hits++
+			m.mu.Unlock()
+			return true, nil
+		}
+		m.mu.Lock()
+		delete(m.entries, key)
+		m.Discards++
+		m.mu.Unlock()
+	}
+	if err := create(); err != nil {
+		return false, err
+	}
+	var buf bytes.Buffer
+	if err := encode(&buf); err == nil {
+		m.mu.Lock()
+		m.entries[key] = buf.Bytes()
+		m.Misses++
+		m.mu.Unlock()
+	}
+	return false, nil
+}
+
+// Corrupt overwrites the payload under key (tests exercise the discard
+// path with it). It reports whether the entry existed.
+func (m *Mem) Corrupt(key Key, payload []byte) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.entries[key]; !ok {
+		return false
+	}
+	m.entries[key] = payload
+	return true
+}
+
+// Len returns the number of stored entries.
+func (m *Mem) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}

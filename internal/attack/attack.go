@@ -51,16 +51,32 @@ func Gaussian(rng *rand.Rand, x *mat.Matrix, sensorDims []int, sigma float64) (*
 // using the true labels (Eq 3-4). The perturbation touches every input
 // column — both sensor values and control commands, as in the paper.
 func FGSM(model *nn.Model, x *mat.Matrix, labels []int, eps float64) (*mat.Matrix, error) {
+	return FGSMWithKnowledge(model, x, labels, nil, eps)
+}
+
+// FGSMWithKnowledge is FGSM with the semantic-loss knowledge indicators
+// threaded into the gradient. Adversarial training of the Custom monitors
+// uses it so the inner attack targets the same loss surface being
+// optimized; with knowledge == nil it is exactly FGSM.
+func FGSMWithKnowledge(model *nn.Model, x *mat.Matrix, labels []int, knowledge []float64, eps float64) (*mat.Matrix, error) {
 	if eps < 0 {
 		return nil, fmt.Errorf("attack: negative epsilon %v", eps)
 	}
-	grad, err := model.InputGradient(x, labels, nil)
+	grad, err := model.InputGradient(x, labels, knowledge)
 	if err != nil {
 		return nil, fmt.Errorf("attack: fgsm gradient: %w", err)
 	}
 	out := x.Clone()
-	for i := 0; i < out.Rows(); i++ {
-		row := out.Row(i)
+	signStep(out, grad, eps)
+	return out, nil
+}
+
+// signStep applies the FGSM update x ← x + ε·sign(g) in place — the single
+// home of the sign-step rule shared by FGSM, adversarial training, and the
+// PGD inner loop. Zero-gradient entries are left untouched.
+func signStep(x, grad *mat.Matrix, eps float64) {
+	for i := 0; i < x.Rows(); i++ {
+		row := x.Row(i)
 		grow := grad.Row(i)
 		for j := range row {
 			switch {
@@ -71,7 +87,6 @@ func FGSM(model *nn.Model, x *mat.Matrix, labels []int, eps float64) (*mat.Matri
 			}
 		}
 	}
-	return out, nil
 }
 
 // SubstituteConfig sizes black-box substitute training.

@@ -45,18 +45,12 @@ func PGD(model *nn.Model, x *mat.Matrix, labels []int, cfg PGDConfig) (*mat.Matr
 		if err != nil {
 			return nil, fmt.Errorf("attack: pgd iteration %d: %w", it, err)
 		}
+		signStep(adv, grad, cfg.StepSize)
+		// Project back into the ε-ball.
 		for i := 0; i < adv.Rows(); i++ {
 			row := adv.Row(i)
 			orig := x.Row(i)
-			grow := grad.Row(i)
 			for j := range row {
-				switch {
-				case grow[j] > 0:
-					row[j] += cfg.StepSize
-				case grow[j] < 0:
-					row[j] -= cfg.StepSize
-				}
-				// Project back into the ε-ball.
 				if d := row[j] - orig[j]; d > cfg.Eps {
 					row[j] = orig[j] + cfg.Eps
 				} else if d < -cfg.Eps {

@@ -1,0 +1,54 @@
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/artifact"
+)
+
+// FormatVersion identifies the on-disk campaign encoding. Bump it whenever
+// the Dataset schema, the feature/label derivation, or the episode
+// generation changes incompatibly — cached campaigns from older versions
+// then become unreachable and are regenerated.
+const FormatVersion = 1
+
+// Fingerprint hashes the canonicalized campaign configuration (after
+// defaults are filled, so explicit and implicit defaults collide as they
+// should). Two configs with equal fingerprints generate byte-identical
+// campaigns.
+func (c CampaignConfig) Fingerprint() uint64 {
+	c.fill()
+	return artifact.Fingerprint("campaign", c.Simulator, c.Profiles, c.EpisodesPerProfile,
+		c.Steps, c.Window, c.Horizon, c.BGTarget, c.Seed)
+}
+
+// ArtifactKey returns the content-addressed cache key of the campaign this
+// config generates.
+func (c CampaignConfig) ArtifactKey() artifact.Key {
+	return artifact.Key{Kind: "campaign", Version: FormatVersion, Fingerprint: c.Fingerprint()}
+}
+
+// Save writes the dataset — episodes, samples, labels, and any fitted
+// normalizers — as JSON. Go's JSON encoder renders float64 values in
+// shortest round-trip form, so Save→Load reproduces every sample and
+// normalizer statistic bit-exactly.
+func (d *Dataset) Save(w io.Writer) error {
+	if err := json.NewEncoder(w).Encode(d); err != nil {
+		return fmt.Errorf("dataset: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a dataset written by Save.
+func Load(r io.Reader) (*Dataset, error) {
+	d := &Dataset{}
+	if err := json.NewDecoder(r).Decode(d); err != nil {
+		return nil, fmt.Errorf("dataset: load: %w", err)
+	}
+	if len(d.Samples) == 0 {
+		return nil, fmt.Errorf("dataset: load: no samples")
+	}
+	return d, nil
+}

@@ -1,0 +1,106 @@
+package dataset
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func tinyCampaign(t *testing.T) CampaignConfig {
+	t.Helper()
+	return CampaignConfig{
+		Simulator:          Glucosym,
+		Profiles:           2,
+		EpisodesPerProfile: 2,
+		Steps:              60,
+		Seed:               11,
+	}
+}
+
+// TestSaveLoadRoundTrip checks the acceptance requirement that campaigns
+// round-trip exactly: every sample, label, episode boundary, and fitted
+// normalizer statistic must compare deeply equal after Save→Load —
+// including the train split, whose normalizers are set.
+func TestSaveLoadRoundTrip(t *testing.T) {
+	ds, err := Generate(tinyCampaign(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, _, err := ds.Split(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, d := range map[string]*Dataset{"full": ds, "train": train} {
+		var buf bytes.Buffer
+		if err := d.Save(&buf); err != nil {
+			t.Fatalf("%s: save: %v", name, err)
+		}
+		got, err := Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: load: %v", name, err)
+		}
+		if !reflect.DeepEqual(d, got) {
+			t.Fatalf("%s: Save→Load round trip is not exact", name)
+		}
+		// Re-saving the loaded dataset must produce identical bytes — the
+		// property warm-run byte-identical output rests on.
+		var buf2 bytes.Buffer
+		if err := got.Save(&buf2); err != nil {
+			t.Fatalf("%s: re-save: %v", name, err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatalf("%s: re-saved bytes differ from original", name)
+		}
+	}
+	if train.MLPNorm == nil || train.SeqNorm == nil {
+		t.Fatal("train split lost its normalizers")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage must not load")
+	}
+	if _, err := Load(strings.NewReader("{}")); err == nil {
+		t.Fatal("an empty dataset must not load")
+	}
+}
+
+// TestCampaignFingerprint checks that the fingerprint canonicalizes over
+// filled defaults (an explicit default and an omitted field collide) and
+// separates every generation-relevant field.
+func TestCampaignFingerprint(t *testing.T) {
+	base := tinyCampaign(t)
+	if base.Fingerprint() != base.Fingerprint() {
+		t.Fatal("fingerprint not stable")
+	}
+	explicit := base
+	explicit.Window = 6 // the filled default
+	explicit.Horizon = 12
+	explicit.BGTarget = 140
+	if base.Fingerprint() != explicit.Fingerprint() {
+		t.Fatal("explicit defaults must fingerprint like omitted ones")
+	}
+	variants := []func(*CampaignConfig){
+		func(c *CampaignConfig) { c.Simulator = T1DS },
+		func(c *CampaignConfig) { c.Profiles++ },
+		func(c *CampaignConfig) { c.EpisodesPerProfile++ },
+		func(c *CampaignConfig) { c.Steps++ },
+		func(c *CampaignConfig) { c.Window = 8 },
+		func(c *CampaignConfig) { c.Horizon = 6 },
+		func(c *CampaignConfig) { c.BGTarget = 120 },
+		func(c *CampaignConfig) { c.Seed++ },
+	}
+	for i, mutate := range variants {
+		v := base
+		mutate(&v)
+		if v.Fingerprint() == base.Fingerprint() {
+			t.Fatalf("variant %d does not change the fingerprint", i)
+		}
+	}
+	key := base.ArtifactKey()
+	if key.Kind != "campaign" || key.Version != FormatVersion || key.Fingerprint != base.Fingerprint() {
+		t.Fatalf("unexpected artifact key %v", key)
+	}
+}

@@ -46,10 +46,13 @@ type monitorEntry struct {
 	err  error
 }
 
-// SimAssets bundles everything evaluated for one simulator. Monitors are
-// trained lazily and memoized: the first cell that needs a monitor trains
-// it, concurrent requesters block on that one training run, and every later
-// request hits the cache. All accessors are safe for concurrent use.
+// SimAssets bundles everything evaluated for one simulator. Monitor lookup
+// is two-tier: the in-process memory tier (the sync.Once slots below)
+// guarantees one resolution per (simulator, monitor) key per process, and
+// that single resolution consults the artifact store (disk tier) before
+// falling back to training — so a warm run loads weights instead of
+// retraining, and a cold run persists what it trains. All accessors are
+// safe for concurrent use.
 type SimAssets struct {
 	Sim   dataset.Simulator
 	Full  *dataset.Dataset
@@ -57,6 +60,9 @@ type SimAssets struct {
 	Test  *dataset.Dataset
 
 	cfg Config
+	// campaign is the config that generated Full; monitor artifact keys mix
+	// in its fingerprint so a changed campaign invalidates trained monitors.
+	campaign dataset.CampaignConfig
 
 	mu       sync.Mutex
 	monitors map[string]*monitorEntry
@@ -65,8 +71,9 @@ type SimAssets struct {
 	testLabels []int
 }
 
-// Monitor returns the named monitor, training it on first use. Concurrent
-// callers for the same name share a single training run.
+// Monitor returns the named monitor, resolving it on first use (from the
+// artifact store when possible, by training otherwise). Concurrent callers
+// for the same name share a single resolution.
 func (s *SimAssets) Monitor(name string) (monitor.Monitor, error) {
 	s.mu.Lock()
 	e, ok := s.monitors[name]
@@ -110,9 +117,12 @@ var monitorSpecs = map[string]struct {
 	"lstm_custom": {monitor.ArchLSTM, true},
 }
 
-// trainMonitor builds one monitor from the training split. Training seeds
-// depend only on the config, so the result is identical whichever sweep cell
-// triggers the run.
+// trainMonitor resolves one monitor: rule-based monitors are constructed
+// directly (cheaper than any cache), ML monitors go through the artifact
+// store and fall back to training on a miss. Training seeds depend only on
+// the config, so the result is identical whichever sweep cell triggers the
+// run — and bit-identical again when a later process loads the persisted
+// weights.
 func (s *SimAssets) trainMonitor(name string) (monitor.Monitor, error) {
 	if name == "rule_based" {
 		return monitor.NewRuleBased(s.cfg.BGTarget), nil
@@ -125,7 +135,7 @@ func (s *SimAssets) trainMonitor(name string) (monitor.Monitor, error) {
 	if spec.arch == monitor.ArchLSTM {
 		h1, h2 = s.cfg.LSTMHidden1, s.cfg.LSTMHidden2
 	}
-	m, err := monitor.Train(s.Train, monitor.TrainConfig{
+	m, _, err := CachedMonitor(ActiveStore(), s.Train, s.campaign, s.cfg.TrainFrac, monitor.TrainConfig{
 		Arch:           spec.arch,
 		Semantic:       spec.semantic,
 		SemanticWeight: s.cfg.SemanticWeight,
@@ -146,14 +156,17 @@ type Assets struct {
 	Sims   map[dataset.Simulator]*SimAssets
 }
 
-// Build generates the simulation campaigns for both simulators in parallel.
-// Monitors are not trained here: each is trained on first use, so a run that
-// touches only some monitors never pays for the rest, and parallel sweep
-// cells needing the same monitor share one training run.
+// Build assembles the simulation campaigns for both simulators in parallel,
+// loading each from the artifact store when a current entry exists and
+// simulating (then persisting) it otherwise. The split and normalizer fit
+// are deterministic given the campaign, so they re-run cheaply either way.
+// Monitors are not trained here: each is resolved on first use, so a run
+// that touches only some monitors never pays for the rest, and parallel
+// sweep cells needing the same monitor share one resolution.
 func Build(cfg Config) (*Assets, error) {
 	sims, err := sweep.Map(Workers(), len(Simulators), func(i int) (*SimAssets, error) {
 		simu := Simulators[i]
-		ds, err := dataset.Generate(dataset.CampaignConfig{
+		camp := dataset.CampaignConfig{
 			Simulator:          simu,
 			Profiles:           cfg.Profiles,
 			EpisodesPerProfile: cfg.EpisodesPerProfile,
@@ -162,7 +175,8 @@ func Build(cfg Config) (*Assets, error) {
 			Horizon:            cfg.Horizon,
 			BGTarget:           cfg.BGTarget,
 			Seed:               cfg.Seed,
-		})
+		}
+		ds, _, err := CachedCampaign(ActiveStore(), camp)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: generate %v: %w", simu, err)
 		}
@@ -176,6 +190,7 @@ func Build(cfg Config) (*Assets, error) {
 			Train:    train,
 			Test:     test,
 			cfg:      cfg,
+			campaign: camp,
 			monitors: make(map[string]*monitorEntry, len(MonitorNames)),
 		}, nil
 	})

@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/artifact"
+	"repro/internal/dataset"
+	"repro/internal/monitor"
+)
+
+// tinyCacheConfig is deliberately minute: the warm-run test trains eight
+// monitors twice end-to-end, so every knob is at the floor.
+func tinyCacheConfig() Config {
+	return Config{
+		Profiles:           2,
+		EpisodesPerProfile: 2,
+		Steps:              80,
+		Window:             6,
+		Horizon:            12,
+		BGTarget:           140,
+		Epochs:             2,
+		SemanticWeight:     1.5,
+		MLPHidden1:         12,
+		MLPHidden2:         6,
+		LSTMHidden1:        6,
+		LSTMHidden2:        4,
+		ToleranceDelta:     12,
+		TrainFrac:          0.5,
+		Seed:               77,
+	}
+}
+
+// countWork swaps the production seams for counting wrappers and returns
+// the counters plus a restore func.
+func countWork() (gen, train *atomic.Int32, restore func()) {
+	gen, train = new(atomic.Int32), new(atomic.Int32)
+	origGen, origTrain := generateFn, trainFn
+	generateFn = func(cfg dataset.CampaignConfig) (*dataset.Dataset, error) {
+		gen.Add(1)
+		return origGen(cfg)
+	}
+	trainFn = func(ds *dataset.Dataset, cfg monitor.TrainConfig) (*monitor.MLMonitor, error) {
+		train.Add(1)
+		return origTrain(ds, cfg)
+	}
+	return gen, train, func() { generateFn, trainFn = origGen, origTrain }
+}
+
+// renderFresh builds fresh assets (bypassing the process-level Shared cache,
+// so the disk tier is actually exercised) and renders the experiments that
+// touch every monitor plus a seeded noise sweep.
+func renderFresh(t *testing.T, cfg Config) string {
+	t.Helper()
+	a, err := Build(cfg)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	var sb strings.Builder
+	for _, id := range []string{"table3", "fig5"} {
+		if err := Run(id, a, &sb); err != nil {
+			t.Fatalf("Run(%s): %v", id, err)
+		}
+	}
+	return sb.String()
+}
+
+// TestWarmRunSkipsAllWorkAndMatchesCold is the PR's acceptance criterion:
+// a second run with an identical config must generate zero campaigns and
+// train zero monitors, yet produce byte-identical experiment output.
+func TestWarmRunSkipsAllWorkAndMatchesCold(t *testing.T) {
+	disk, err := artifact.NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetStore(disk)
+	defer SetStore(nil)
+	cfg := tinyCacheConfig()
+
+	gen, train, restore := countWork()
+	defer restore()
+
+	cold := renderFresh(t, cfg)
+	if g, tr := gen.Load(), train.Load(); g != 2 || tr != 8 {
+		t.Fatalf("cold run did %d generations and %d trainings, want 2 and 8", g, tr)
+	}
+
+	gen.Store(0)
+	train.Store(0)
+	warm := renderFresh(t, cfg)
+	if g := gen.Load(); g != 0 {
+		t.Fatalf("warm run generated %d campaigns, want 0", g)
+	}
+	if tr := train.Load(); tr != 0 {
+		t.Fatalf("warm run trained %d monitors, want 0", tr)
+	}
+	if warm != cold {
+		t.Fatalf("warm output differs from cold output\ncold:\n%s\nwarm:\n%s", cold, warm)
+	}
+
+	// A different seed must miss: content addressing, not blanket reuse.
+	gen.Store(0)
+	train.Store(0)
+	cfg2 := cfg
+	cfg2.Seed++
+	_ = renderFresh(t, cfg2)
+	if g, tr := gen.Load(), train.Load(); g != 2 || tr != 8 {
+		t.Fatalf("changed seed reused cache: %d generations, %d trainings", g, tr)
+	}
+}
+
+// TestCorruptMonitorArtifactFallsBackToRetraining corrupts one persisted
+// monitor and checks the warm run silently retrains exactly that monitor —
+// and still reproduces the cold output.
+func TestCorruptMonitorArtifactFallsBackToRetraining(t *testing.T) {
+	root := t.TempDir()
+	disk, err := artifact.NewDisk(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetStore(disk)
+	defer SetStore(nil)
+	cfg := tinyCacheConfig()
+	cfg.Seed = 99 // keep this test's cache disjoint from the warm-run test's
+
+	gen, train, restore := countWork()
+	defer restore()
+	cold := renderFresh(t, cfg)
+
+	var monitorFiles []string
+	filepath.Walk(filepath.Join(root, "monitor"), func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			monitorFiles = append(monitorFiles, path)
+		}
+		return nil
+	})
+	if len(monitorFiles) != 8 {
+		t.Fatalf("found %d persisted monitors, want 8", len(monitorFiles))
+	}
+	if err := os.WriteFile(monitorFiles[0], []byte("garbage, not an artifact\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	gen.Store(0)
+	train.Store(0)
+	warm := renderFresh(t, cfg)
+	if g := gen.Load(); g != 0 {
+		t.Fatalf("warm run generated %d campaigns, want 0", g)
+	}
+	if tr := train.Load(); tr != 1 {
+		t.Fatalf("warm run trained %d monitors, want exactly the corrupted one", tr)
+	}
+	if warm != cold {
+		t.Fatal("output after corruption recovery differs from cold output")
+	}
+}
+
+// TestCachedMonitorRoundTrip checks the monitor store path directly: a hit
+// returns a monitor whose verdicts match the trained original exactly.
+func TestCachedMonitorRoundTrip(t *testing.T) {
+	camp := dataset.CampaignConfig{
+		Simulator: dataset.Glucosym, Profiles: 2, EpisodesPerProfile: 2, Steps: 60, Seed: 5,
+	}
+	ds, err := dataset.Generate(camp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := ds.Split(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := monitor.TrainConfig{Arch: monitor.ArchMLP, Epochs: 2, Hidden1: 8, Hidden2: 4, Seed: 5}
+	mem := artifact.NewMem()
+	m1, hit, err := CachedMonitor(mem, train, camp, 0.5, tc)
+	if err != nil || hit {
+		t.Fatalf("cold CachedMonitor: hit=%v err=%v", hit, err)
+	}
+	m2, hit, err := CachedMonitor(mem, train, camp, 0.5, tc)
+	if err != nil || !hit {
+		t.Fatalf("warm CachedMonitor: hit=%v err=%v", hit, err)
+	}
+	v1, err := m1.Classify(test.Samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := m2.Classify(test.Samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatalf("verdict %d differs after round trip: %+v vs %+v", i, v1[i], v2[i])
+		}
+	}
+	// A different training recipe must produce a different key.
+	tc2 := tc
+	tc2.Epochs = 3
+	if _, hit, err := CachedMonitor(mem, train, camp, 0.5, tc2); err != nil || hit {
+		t.Fatalf("different recipe hit the cache: hit=%v err=%v", hit, err)
+	}
+	// SemanticWeight cannot affect a non-semantic monitor's weights, so it
+	// must not change the key either.
+	tc3 := tc
+	tc3.SemanticWeight = 2.0
+	if _, hit, err := CachedMonitor(mem, train, camp, 0.5, tc3); err != nil || !hit {
+		t.Fatalf("semantic weight invalidated a non-semantic monitor: hit=%v err=%v", hit, err)
+	}
+}

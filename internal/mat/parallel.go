@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/sweep"
 )
 
 // parallelism holds the configured worker count for blocked matrix products;
@@ -39,19 +41,27 @@ const parallelFlopCutoff = 1 << 16
 // and runs body on each block concurrently. body must only write state owned
 // by its row range.
 //
-// Note on nesting: sweep-level parallelism (experiments.SetWorkers) and this
-// fan-out multiply — P concurrent sweep cells each spawning P row blocks can
-// oversubscribe the scheduler on cold runs. Goroutines are cheap enough that
-// this degrades gracefully, but coordinating the two budgets is an open
-// ROADMAP item; set SetParallelism(1) to confine parallelism to the sweep
-// level.
+// The fan-out draws extra workers from the shared sweep budget, so nested
+// parallelism no longer multiplies: when all budget tokens are held by
+// concurrent sweep cells (the warm-cache inference fan-out), the product
+// runs serially on the calling goroutine, and total worker goroutines stay
+// at ~budget instead of budget². Every row is computed with the same
+// arithmetic order regardless of blocking, so results are byte-identical
+// at any grant.
 func parallelRowBlocks(rows, workers int, body func(lo, hi int)) {
 	if workers > rows {
 		workers = rows
 	}
+	granted := sweep.AcquireWorkers(workers - 1)
+	defer sweep.ReleaseWorkers(granted)
+	workers = granted + 1
+	if workers == 1 {
+		body(0, rows)
+		return
+	}
 	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
+	wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
 		lo := rows * w / workers
 		hi := rows * (w + 1) / workers
 		go func(lo, hi int) {
@@ -59,5 +69,6 @@ func parallelRowBlocks(rows, workers int, body func(lo, hi int)) {
 			body(lo, hi)
 		}(lo, hi)
 	}
+	body(0, rows/workers) // block 0 runs on the calling goroutine
 	wg.Wait()
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/artifact"
+	"repro/internal/attack"
 	"repro/internal/dataset"
 	"repro/internal/mat"
 	"repro/internal/nn"
@@ -19,7 +21,9 @@ type TrainConfig struct {
 	Semantic bool
 	// SemanticWeight is w in Eq (2) (default 0.5).
 	SemanticWeight float64
-	// Epochs over the training set (default 12).
+	// Epochs over the training set. The default is 15, matching the
+	// cmd/apstrain default and experiments.Default() — one number
+	// everywhere (the paper preset raises it via experiments.Paper()).
 	Epochs int
 	// BatchSize for minibatch SGD (default 256).
 	BatchSize int
@@ -36,12 +40,33 @@ type TrainConfig struct {
 	Seed int64
 }
 
+// FormatVersion identifies the Save/Load encoding of trained monitors.
+// Bump it whenever the serialization, the architectures, or the training
+// procedure changes incompatibly — cached monitors from older versions
+// then become unreachable and are retrained.
+const FormatVersion = 1
+
+// Fingerprint hashes the canonicalized training configuration (after
+// defaults are filled). Knobs that cannot affect the trained weights are
+// normalized out — SemanticWeight only enters the loss when Semantic is
+// set, so changing it must not invalidate cached non-semantic monitors.
+// It identifies only the recipe; artifact keys for trained monitors must
+// also mix in a fingerprint of the training data.
+func (c TrainConfig) Fingerprint() uint64 {
+	c.fill()
+	if !c.Semantic {
+		c.SemanticWeight = 0
+	}
+	return artifact.Fingerprint("train", c.Arch, c.Semantic, c.SemanticWeight, c.Epochs,
+		c.BatchSize, c.LR, c.Hidden1, c.Hidden2, c.AdversarialEps, c.Seed)
+}
+
 func (c *TrainConfig) fill() {
 	if c.SemanticWeight == 0 {
 		c.SemanticWeight = 0.5
 	}
 	if c.Epochs == 0 {
-		c.Epochs = 12
+		c.Epochs = 15
 	}
 	if c.BatchSize == 0 {
 		c.BatchSize = 256
@@ -122,7 +147,13 @@ func fitMinibatch(model *nn.Model, x *mat.Matrix, labels []int, knowledge []floa
 	for i := range idx {
 		idx[i] = i
 	}
-	bx := mat.New(min(cfg.BatchSize, n), x.Cols())
+	// Batch scratch buffers, reused across minibatches: TrainBatch consumes
+	// its inputs within the call, so only the sizes ever change (and only on
+	// the final short batch of an epoch).
+	maxB := min(cfg.BatchSize, n)
+	bx := mat.New(maxB, x.Cols())
+	blabels := make([]int, maxB)
+	bknow := make([]float64, maxB)
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		for from := 0; from < n; from += cfg.BatchSize {
@@ -131,50 +162,28 @@ func fitMinibatch(model *nn.Model, x *mat.Matrix, labels []int, knowledge []floa
 			if bx.Rows() != bsz {
 				bx = mat.New(bsz, x.Cols())
 			}
-			blabels := make([]int, bsz)
-			bknow := make([]float64, bsz)
+			bl, bk := blabels[:bsz], bknow[:bsz]
 			for bi := 0; bi < bsz; bi++ {
 				src := idx[from+bi]
 				copy(bx.Row(bi), x.Row(src))
-				blabels[bi] = labels[src]
-				bknow[bi] = knowledge[src]
+				bl[bi] = labels[src]
+				bk[bi] = knowledge[src]
 			}
-			if _, err := model.TrainBatch(bx, blabels, bknow, opt); err != nil {
+			if _, err := model.TrainBatch(bx, bl, bk, opt); err != nil {
 				return fmt.Errorf("monitor: train epoch %d: %w", epoch, err)
 			}
 			if cfg.AdversarialEps > 0 {
-				adv, err := fgsmBatch(model, bx, blabels, bknow, cfg.AdversarialEps)
+				// The inner step of adversarial training: attack the current
+				// model state with the same loss surface being optimized.
+				adv, err := attack.FGSMWithKnowledge(model, bx, bl, bk, cfg.AdversarialEps)
 				if err != nil {
 					return fmt.Errorf("monitor: adversarial batch epoch %d: %w", epoch, err)
 				}
-				if _, err := model.TrainBatch(adv, blabels, bknow, opt); err != nil {
+				if _, err := model.TrainBatch(adv, bl, bk, opt); err != nil {
 					return fmt.Errorf("monitor: adversarial train epoch %d: %w", epoch, err)
 				}
 			}
 		}
 	}
 	return nil
-}
-
-// fgsmBatch crafts x + ε·sign(∇x J) against the current model state (the
-// inner step of adversarial training).
-func fgsmBatch(model *nn.Model, x *mat.Matrix, labels []int, knowledge []float64, eps float64) (*mat.Matrix, error) {
-	grad, err := model.InputGradient(x, labels, knowledge)
-	if err != nil {
-		return nil, err
-	}
-	adv := x.Clone()
-	for i := 0; i < adv.Rows(); i++ {
-		row := adv.Row(i)
-		grow := grad.Row(i)
-		for j := range row {
-			switch {
-			case grow[j] > 0:
-				row[j] += eps
-			case grow[j] < 0:
-				row[j] -= eps
-			}
-		}
-	}
-	return adv, nil
 }

@@ -1,0 +1,147 @@
+package sweep
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBudgetAcquireRelease(t *testing.T) {
+	SetBudget(3)
+	defer SetBudget(0)
+	if got := AcquireWorkers(2); got != 2 {
+		t.Fatalf("first acquire = %d, want 2", got)
+	}
+	if got := AcquireWorkers(5); got != 1 {
+		t.Fatalf("second acquire = %d, want the remaining 1", got)
+	}
+	if got := AcquireWorkers(1); got != 0 {
+		t.Fatalf("drained pool granted %d", got)
+	}
+	ReleaseWorkers(3)
+	if got := AcquireWorkers(4); got != 3 {
+		t.Fatalf("after release acquire = %d, want 3", got)
+	}
+	ReleaseWorkers(3)
+	if AcquireWorkers(0) != 0 || AcquireWorkers(-1) != 0 {
+		t.Fatal("non-positive requests must grant 0")
+	}
+	if BudgetCap() != 3 {
+		t.Fatalf("BudgetCap() = %d, want 3", BudgetCap())
+	}
+	SetBudget(0)
+	if BudgetCap() < 1 {
+		t.Fatalf("default cap = %d, want >= 1", BudgetCap())
+	}
+}
+
+// TestMapRespectsBudget checks that nested Maps cannot multiply past the
+// shared cap: with a budget of 2, an outer parallel Map whose cells each
+// run an inner parallel Map must never have more than ~3 cells in flight
+// (the calling goroutine plus two granted workers, across both layers).
+func TestMapRespectsBudget(t *testing.T) {
+	SetBudget(2)
+	defer SetBudget(0)
+
+	var inFlight, peak atomic.Int32
+	work := func() {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		inFlight.Add(-1)
+	}
+	_, err := Map(8, 8, func(i int) (int, error) {
+		inner, err := Map(8, 8, func(j int) (int, error) {
+			work()
+			return j, nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		return len(inner), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget 2 means at most 2 extra workers exist beyond the caller, so at
+	// most 3 goroutines can ever be inside work() simultaneously.
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("peak concurrency %d with budget 2, want <= 3", p)
+	}
+}
+
+// TestMapResultsIdenticalUnderAnyBudget pins the determinism contract: the
+// budget changes scheduling, never results.
+func TestMapResultsIdenticalUnderAnyBudget(t *testing.T) {
+	defer SetBudget(0)
+	want := make([]int, 100)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, b := range []int{1, 2, 4, 16} {
+		SetBudget(b)
+		got, err := Map(8, len(want), func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("budget %d: result[%d] = %d, want %d", b, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMapReleasesTokens checks Map returns its grant: a drained budget
+// would otherwise force every later Map to run serially.
+func TestMapReleasesTokens(t *testing.T) {
+	SetBudget(4)
+	defer SetBudget(0)
+	for round := 0; round < 10; round++ {
+		if _, err := Map(4, 16, func(i int) (int, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := AcquireWorkers(4); got != 4 {
+		t.Fatalf("after 10 Maps only %d tokens free, want 4 (leak)", got)
+	}
+	ReleaseWorkers(4)
+}
+
+// TestConcurrentAcquireNeverExceedsCap hammers the pool from many
+// goroutines and checks the outstanding count never exceeds the cap.
+func TestConcurrentAcquireNeverExceedsCap(t *testing.T) {
+	const cap = 5
+	SetBudget(cap)
+	defer SetBudget(0)
+	var out, peak atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				n := AcquireWorkers(3)
+				cur := out.Add(int32(n))
+				for {
+					p := peak.Load()
+					if cur <= p || peak.CompareAndSwap(p, cur) {
+						break
+					}
+				}
+				out.Add(int32(-n))
+				ReleaseWorkers(n)
+			}
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > cap {
+		t.Fatalf("outstanding tokens peaked at %d, cap is %d", p, cap)
+	}
+}

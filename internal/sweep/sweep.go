@@ -50,7 +50,10 @@ func CellSeed(base int64, index int) int64 {
 // Map runs fn(i) for every i in [0, n) across a pool of workers goroutines
 // and returns the n results in index order. workers <= 0 selects
 // runtime.GOMAXPROCS(0). With workers == 1 the jobs run serially in index
-// order on the calling goroutine.
+// order on the calling goroutine. The requested fan-out is additionally
+// clamped by the shared worker budget (SetBudget): extra workers beyond the
+// calling goroutine each hold one budget token, so nested parallel layers
+// cannot multiply past the process-wide cap.
 //
 // Results are slotted by index, so for error-free runs the returned slice is
 // identical regardless of worker count. If any job fails, Map returns the
@@ -67,6 +70,12 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	if workers > n {
 		workers = n
 	}
+	granted := 0
+	if workers > 1 {
+		granted = AcquireWorkers(workers - 1)
+		defer ReleaseWorkers(granted)
+		workers = granted + 1
+	}
 	out := make([]T, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
@@ -81,8 +90,8 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	errs := make([]error, n)
 	var next atomic.Int64
 	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
+	wg.Add(workers - 1)
+	for w := 0; w < workers-1; w++ {
 		go func() {
 			defer wg.Done()
 			for {
@@ -93,6 +102,15 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 				out[i], errs[i] = fn(i)
 			}
 		}()
+	}
+	// The calling goroutine works too — its own existence is the one token
+	// the budget doesn't charge for.
+	for {
+		i := int(next.Add(1)) - 1
+		if i >= n {
+			break
+		}
+		out[i], errs[i] = fn(i)
 	}
 	wg.Wait()
 	for i, err := range errs {
