@@ -18,6 +18,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/mat"
 	"repro/internal/monitor"
+	"repro/internal/sweep"
 )
 
 // sensorOnlyFGSM crafts FGSM perturbations but zeroes the components on
@@ -536,4 +537,59 @@ func BenchmarkAblationPGDvsFGSM(b *testing.B) {
 			b.ReportMetric(flips(pgdAdv), "pgd-err")
 		}
 	}
+}
+
+// benchTrainMonitor measures monitor training throughput at a fixed worker
+// count. Workers drives the minibatch pipeline + block-parallel
+// forward/backward; the budget is pinned to the same value so the fan-out
+// is real. Trained weights are byte-identical at every setting
+// (monitor.TestTrainParallelDeterminism), so serial vs parallel is a pure
+// wall-clock comparison.
+func benchTrainMonitor(b *testing.B, simu dataset.Simulator, arch monitor.Arch, workers int) {
+	b.Helper()
+	ds, err := dataset.Generate(dataset.CampaignConfig{
+		Simulator:          simu,
+		Profiles:           6,
+		EpisodesPerProfile: 2,
+		Steps:              120,
+		Seed:               11,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	train, _, err := ds.Split(0.75)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mat.SetParallelism(workers)
+	sweep.SetBudget(workers)
+	defer func() {
+		mat.SetParallelism(0)
+		sweep.SetBudget(0)
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := monitor.Train(train, monitor.TrainConfig{
+			Arch:    arch,
+			Epochs:  3,
+			Seed:    5,
+			Workers: workers,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainMLP compares serial and 8-way pipelined MLP monitor
+// training (paper-sized 256-128 hidden layers).
+func BenchmarkTrainMLP(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchTrainMonitor(b, dataset.Glucosym, monitor.ArchMLP, 1) })
+	b.Run("parallel8", func(b *testing.B) { benchTrainMonitor(b, dataset.Glucosym, monitor.ArchMLP, 8) })
+}
+
+// BenchmarkTrainLSTM compares serial and 8-way pipelined stacked-LSTM
+// monitor training (paper-sized 128-64 over 6 steps).
+func BenchmarkTrainLSTM(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchTrainMonitor(b, dataset.T1DS, monitor.ArchLSTM, 1) })
+	b.Run("parallel8", func(b *testing.B) { benchTrainMonitor(b, dataset.T1DS, monitor.ArchLSTM, 8) })
 }

@@ -5,13 +5,20 @@
 // Usage:
 //
 //	apsattack [-sim glucosym|t1ds] [-arch mlp|lstm] [-semantic]
-//	          [-attack gaussian|fgsm|blackbox] [-level σ|ε]
-//	          [-cache DIR] [-no-cache]
+//	          [-attack gaussian|fgsm|pgd|blackbox] [-level σ|ε]
+//	          [-parallel N] [-cache DIR] [-no-cache]
 //
 // The campaign and the target monitor are cached content-addressed under
 // -cache (default $APSREPRO_CACHE or ~/.cache/apsrepro), so repeated attack
 // runs against the same training setup skip simulation and training and go
 // straight to the attack. Cache events are logged to stderr.
+//
+// -parallel N sets the worker budget shared by monitor training (the
+// minibatch block pipeline), matrix products, and sweeps; trained weights
+// and attack outputs are byte-identical at every setting. The pgd attack
+// threads the semantic knowledge indicators through every gradient step
+// when the target was trained with -semantic, so Custom monitors are
+// attacked on the Eq (2) loss surface they were trained on.
 package main
 
 import (
@@ -19,13 +26,16 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	"repro/internal/artifact"
 	"repro/internal/attack"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/mat"
 	"repro/internal/metrics"
 	"repro/internal/monitor"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -39,12 +49,18 @@ func run() error {
 	simName := flag.String("sim", "glucosym", "simulator: glucosym or t1ds")
 	arch := flag.String("arch", "mlp", "architecture: mlp or lstm")
 	semantic := flag.Bool("semantic", false, "train the monitor with the semantic loss")
-	kind := flag.String("attack", "fgsm", "attack: gaussian, fgsm, or blackbox")
-	level := flag.Float64("level", 0.1, "σ (gaussian) or ε (fgsm/blackbox)")
+	kind := flag.String("attack", "fgsm", "attack: gaussian, fgsm, pgd, or blackbox")
+	level := flag.Float64("level", 0.1, "σ (gaussian) or ε (fgsm/pgd/blackbox)")
 	epochs := flag.Int("epochs", 15, "training epochs")
 	seed := flag.Int64("seed", 1, "seed")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for training and matrix products (1 = serial)")
 	cache := artifact.AddFlags(flag.CommandLine)
 	flag.Parse()
+	if *parallel < 1 {
+		return fmt.Errorf("-parallel %d, want >= 1", *parallel)
+	}
+	mat.SetParallelism(*parallel)
+	sweep.SetBudget(*parallel)
 	store := cache.Open(log.Printf)
 
 	var simu dataset.Simulator
@@ -79,7 +95,7 @@ func run() error {
 		return err
 	}
 	m, _, err := experiments.CachedMonitor(store, train, camp, trainFrac, monitor.TrainConfig{
-		Arch: a, Semantic: *semantic, Epochs: *epochs, Seed: *seed,
+		Arch: a, Semantic: *semantic, Epochs: *epochs, Seed: *seed, Workers: *parallel,
 	})
 	if err != nil {
 		return err
@@ -115,6 +131,19 @@ func run() error {
 			return err
 		}
 		fmt.Printf("white-box FGSM ε=%.2f: F1=%.3f (Δ=%.3f), robustness error=%.3f\n",
+			*level, c.F1(), clean.F1()-c.F1(), re)
+	case "pgd":
+		labels := test.Labels()
+		p := experiments.PGDPerturbation(m, labels, test.Knowledge(), attack.PGDConfig{Eps: *level})
+		c, err := experiments.Score(m, test, 12, p)
+		if err != nil {
+			return err
+		}
+		re, err := experiments.RobustnessError(m, test, p)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("white-box PGD ε=%.2f (10 steps): F1=%.3f (Δ=%.3f), robustness error=%.3f\n",
 			*level, c.F1(), clean.F1()-c.F1(), re)
 	case "blackbox":
 		qx, err := m.InputMatrix(train.Samples)

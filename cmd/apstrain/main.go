@@ -6,12 +6,18 @@
 //
 //	apstrain [-sim glucosym|t1ds] [-arch mlp|lstm] [-semantic] [-epochs N]
 //	         [-profiles N] [-episodes N] [-steps N] [-out model.json]
-//	         [-cache DIR] [-no-cache]
+//	         [-parallel N] [-cache DIR] [-no-cache]
 //
 // Campaigns and trained monitors are cached content-addressed under -cache
 // (default $APSREPRO_CACHE or ~/.cache/apsrepro): rerunning with identical
 // settings loads both instead of regenerating and retraining. Cache events
 // are logged to stderr.
+//
+// -parallel N sets the worker budget shared by the training pipeline
+// (minibatch gather/compute overlap + per-block forward/backward fan-out)
+// and the blocked matrix products. The trained model is byte-identical at
+// every setting, so -parallel never changes the cache key or the saved
+// weights.
 package main
 
 import (
@@ -19,11 +25,14 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	"repro/internal/artifact"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/mat"
 	"repro/internal/monitor"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -44,8 +53,14 @@ func run() error {
 	steps := flag.Int("steps", 150, "steps per episode")
 	seed := flag.Int64("seed", 1, "seed")
 	out := flag.String("out", "", "write the trained model JSON here")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for training and matrix products (1 = serial)")
 	cache := artifact.AddFlags(flag.CommandLine)
 	flag.Parse()
+	if *parallel < 1 {
+		return fmt.Errorf("-parallel %d, want >= 1", *parallel)
+	}
+	mat.SetParallelism(*parallel)
+	sweep.SetBudget(*parallel)
 	store := cache.Open(log.Printf)
 
 	var simu dataset.Simulator
@@ -98,6 +113,7 @@ func run() error {
 		SemanticWeight: *weight,
 		Epochs:         *epochs,
 		Seed:           *seed,
+		Workers:        *parallel,
 	})
 	if err != nil {
 		return err

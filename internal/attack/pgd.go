@@ -30,8 +30,21 @@ func (c *PGDConfig) fill() {
 }
 
 // PGD crafts adversarial examples by iterating FGSM steps and projecting
-// back into the ε-ball around the original inputs after each step.
+// back into the ε-ball around the original inputs after each step. The
+// gradient uses the model's own training loss with no semantic knowledge
+// indicators; use PGDWithKnowledge to attack semantic ("Custom") monitors
+// on the Eq (2) surface they were trained on.
 func PGD(model *nn.Model, x *mat.Matrix, labels []int, cfg PGDConfig) (*mat.Matrix, error) {
+	return PGDWithKnowledge(model, x, labels, nil, cfg)
+}
+
+// PGDWithKnowledge is PGD with the semantic-loss knowledge indicators
+// threaded into every iteration's gradient, mirroring FGSMWithKnowledge:
+// without it, PGD against a Custom monitor silently degrades to plain
+// cross-entropy gradients (SemanticLoss skips its term when knowledge is
+// nil) and probes the wrong loss surface. With knowledge == nil it is
+// exactly PGD.
+func PGDWithKnowledge(model *nn.Model, x *mat.Matrix, labels []int, knowledge []float64, cfg PGDConfig) (*mat.Matrix, error) {
 	if cfg.Eps < 0 {
 		return nil, fmt.Errorf("attack: negative epsilon %v", cfg.Eps)
 	}
@@ -41,7 +54,7 @@ func PGD(model *nn.Model, x *mat.Matrix, labels []int, cfg PGDConfig) (*mat.Matr
 		return adv, nil
 	}
 	for it := 0; it < cfg.Steps; it++ {
-		grad, err := model.InputGradient(adv, labels, nil)
+		grad, err := model.InputGradient(adv, labels, knowledge)
 		if err != nil {
 			return nil, fmt.Errorf("attack: pgd iteration %d: %w", it, err)
 		}

@@ -143,6 +143,10 @@ func (s *SimAssets) trainMonitor(name string) (monitor.Monitor, error) {
 		Hidden1:        h1,
 		Hidden2:        h2,
 		Seed:           s.cfg.Seed + 17,
+		// The sweep's -parallel setting also caps the in-training fan-out
+		// (Workers never enters the cache fingerprint: weights are
+		// byte-identical at every setting).
+		Workers: Workers(),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: train %s on %v: %w", name, s.Sim, err)

@@ -95,6 +95,23 @@ func FGSMPerturbation(m *monitor.MLMonitor, labels []int, eps float64) Perturbat
 	}
 }
 
+// PGDPerturbation crafts iterative projected-gradient attacks (Madry et
+// al.) against the monitor's own model. knowledge must carry the per-sample
+// Eq (2) indicators (dataset.Knowledge) when the monitor was trained with
+// the semantic loss, so Custom monitors are attacked on the loss surface
+// they were trained on — the plain losses ignore it, so passing it
+// unconditionally is safe. Like FGSMPerturbation, each invocation attacks a
+// private clone, letting parallel sweep cells share one trained monitor.
+func PGDPerturbation(m *monitor.MLMonitor, labels []int, knowledge []float64, cfg attack.PGDConfig) Perturbation {
+	return func(x *mat.Matrix) (*mat.Matrix, error) {
+		model, err := m.Model().Clone()
+		if err != nil {
+			return nil, err
+		}
+		return attack.PGDWithKnowledge(model, x, labels, knowledge, cfg)
+	}
+}
+
 // Predictions runs a monitor over the test set with an optional input
 // perturbation and returns per-sample 0/1 predictions. The rule-based
 // monitor only supports NoPerturbation (it has no gradient and reads the

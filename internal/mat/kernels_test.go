@@ -1,0 +1,114 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Naive reference kernels with the exact rounding order of the pre-tiling
+// implementations: one += per k-contribution, zero multipliers skipped.
+
+func naiveMatMul(a, b *Matrix) *Matrix {
+	out := New(a.rows, b.cols)
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		orow := out.data[i*out.cols : (i+1)*out.cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+func naiveMatMulT(a, b *Matrix) *Matrix {
+	out := New(a.rows, b.rows)
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		for j := 0; j < b.rows; j++ {
+			brow := b.data[j*b.cols : (j+1)*b.cols]
+			var sum float64
+			for k, av := range arow {
+				sum += av * brow[k]
+			}
+			out.data[i*out.cols+j] = sum
+		}
+	}
+	return out
+}
+
+func naiveTMatMul(a, b *Matrix) *Matrix {
+	out := New(a.cols, b.cols)
+	for k := 0; k < a.rows; k++ {
+		arow := a.data[k*a.cols : (k+1)*a.cols]
+		brow := b.data[k*b.cols : (k+1)*b.cols]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.data[i*out.cols : (i+1)*out.cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// TestTiledKernelsBitIdenticalToNaive pins the "tiling is bit-invisible"
+// contract: the unrolled kernels must reproduce the naive one-add-per-k
+// rounding sequence exactly, including on ReLU-like sparse inputs that
+// exercise the zero-skip fallback paths, at shapes that hit both the
+// unrolled body and the tail loops.
+func TestTiledKernelsBitIdenticalToNaive(t *testing.T) {
+	SetParallelism(1)
+	defer SetParallelism(0)
+	rng := rand.New(rand.NewSource(3))
+	sparsify := func(m *Matrix, frac float64) {
+		d := m.Data()
+		for i := range d {
+			if rng.Float64() < frac {
+				d[i] = 0
+			}
+		}
+	}
+	shapes := [][3]int{{7, 13, 11}, {8, 16, 4}, {1, 5, 9}, {32, 39, 64}, {3, 4, 4}}
+	for _, sparse := range []float64{0, 0.5} {
+		for _, s := range shapes {
+			m, k, n := s[0], s[1], s[2]
+			a := RandNormal(rng, m, k, 1)
+			b := RandNormal(rng, k, n, 1)
+			bt := RandNormal(rng, n, k, 1)
+			at := RandNormal(rng, k, m, 1)
+			sparsify(a, sparse)
+			sparsify(at, sparse)
+
+			got, err := MatMul(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !Equal(got, naiveMatMul(a, b), 0) {
+				t.Fatalf("MatMul %v sparse=%v: tiled kernel not bit-identical to naive", s, sparse)
+			}
+			gotT, err := MatMulT(a, bt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !Equal(gotT, naiveMatMulT(a, bt), 0) {
+				t.Fatalf("MatMulT %v sparse=%v: tiled kernel not bit-identical to naive", s, sparse)
+			}
+			gotTM, err := TMatMul(at, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !Equal(gotTM, naiveTMatMul(at, b), 0) {
+				t.Fatalf("TMatMul %v sparse=%v: tiled kernel not bit-identical to naive", s, sparse)
+			}
+		}
+	}
+}

@@ -150,12 +150,33 @@ func (m *Matrix) String() string {
 // MatMul returns a × b. Products above a size cutoff are computed by
 // row-blocks across SetParallelism goroutines; the result is byte-identical
 // to the serial path because each output row keeps its serial arithmetic
-// order.
+// order (the tiled kernels in kernels.go preserve per-element accumulation
+// order exactly).
 func MatMul(a, b *Matrix) (*Matrix, error) {
 	if a.cols != b.rows {
 		return nil, fmt.Errorf("%w: MatMul %dx%d × %dx%d", ErrShape, a.rows, a.cols, b.rows, b.cols)
 	}
 	out := New(a.rows, b.cols)
+	matMulDispatch(out, a, b)
+	return out, nil
+}
+
+// MatMulInto computes dst = a × b into a caller-owned destination, avoiding
+// the allocation of MatMul on hot paths (training scratch buffers). dst must
+// not alias a or b.
+func MatMulInto(dst, a, b *Matrix) error {
+	if a.cols != b.rows {
+		return fmt.Errorf("%w: MatMulInto %dx%d × %dx%d", ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	if dst.rows != a.rows || dst.cols != b.cols {
+		return fmt.Errorf("%w: MatMulInto dst %dx%d, want %dx%d", ErrShape, dst.rows, dst.cols, a.rows, b.cols)
+	}
+	dst.Zero()
+	matMulDispatch(dst, a, b)
+	return nil
+}
+
+func matMulDispatch(out, a, b *Matrix) {
 	workers := Parallelism()
 	if workers > 1 && a.rows*a.cols*b.cols >= parallelFlopCutoff {
 		parallelRowBlocks(a.rows, workers, func(lo, hi int) {
@@ -163,25 +184,6 @@ func MatMul(a, b *Matrix) (*Matrix, error) {
 		})
 	} else {
 		matMulRows(out, a, b, 0, a.rows)
-	}
-	return out, nil
-}
-
-// matMulRows computes rows [lo, hi) of out = a × b with the ikj loop order:
-// it streams through b rows for cache friendliness.
-func matMulRows(out, a, b *Matrix, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		arow := a.data[i*a.cols : (i+1)*a.cols]
-		orow := out.data[i*out.cols : (i+1)*out.cols]
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.data[k*b.cols : (k+1)*b.cols]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
 	}
 }
 
@@ -191,6 +193,25 @@ func MatMulT(a, b *Matrix) (*Matrix, error) {
 		return nil, fmt.Errorf("%w: MatMulT %dx%d × (%dx%d)ᵀ", ErrShape, a.rows, a.cols, b.rows, b.cols)
 	}
 	out := New(a.rows, b.rows)
+	matMulTDispatch(out, a, b)
+	return out, nil
+}
+
+// MatMulTInto computes dst = a × bᵀ into a caller-owned destination. dst
+// must not alias a or b. Every element is overwritten; dst need not be
+// zeroed.
+func MatMulTInto(dst, a, b *Matrix) error {
+	if a.cols != b.cols {
+		return fmt.Errorf("%w: MatMulTInto %dx%d × (%dx%d)ᵀ", ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	if dst.rows != a.rows || dst.cols != b.rows {
+		return fmt.Errorf("%w: MatMulTInto dst %dx%d, want %dx%d", ErrShape, dst.rows, dst.cols, a.rows, b.rows)
+	}
+	matMulTDispatch(dst, a, b)
+	return nil
+}
+
+func matMulTDispatch(out, a, b *Matrix) {
 	workers := Parallelism()
 	if workers > 1 && a.rows*a.cols*b.rows >= parallelFlopCutoff {
 		parallelRowBlocks(a.rows, workers, func(lo, hi int) {
@@ -199,43 +220,33 @@ func MatMulT(a, b *Matrix) (*Matrix, error) {
 	} else {
 		matMulTRows(out, a, b, 0, a.rows)
 	}
-	return out, nil
 }
 
-func matMulTRows(out, a, b *Matrix, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		arow := a.data[i*a.cols : (i+1)*a.cols]
-		for j := 0; j < b.rows; j++ {
-			brow := b.data[j*b.cols : (j+1)*b.cols]
-			var sum float64
-			for k, av := range arow {
-				sum += av * brow[k]
-			}
-			out.data[i*out.cols+j] = sum
-		}
-	}
-}
-
-// TMatMul returns aᵀ × b.
+// TMatMul returns aᵀ × b. The product stays on the calling goroutine: its
+// k-outer accumulation cannot be split across rows without reordering sums,
+// and its operands on the training path are per-block minibatch slices that
+// are too small to amortize a fan-out.
 func TMatMul(a, b *Matrix) (*Matrix, error) {
 	if a.rows != b.rows {
 		return nil, fmt.Errorf("%w: TMatMul (%dx%d)ᵀ × %dx%d", ErrShape, a.rows, a.cols, b.rows, b.cols)
 	}
 	out := New(a.cols, b.cols)
-	for k := 0; k < a.rows; k++ {
-		arow := a.data[k*a.cols : (k+1)*a.cols]
-		brow := b.data[k*b.cols : (k+1)*b.cols]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			orow := out.data[i*out.cols : (i+1)*out.cols]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
+	tMatMulAccum(out, a, b)
 	return out, nil
+}
+
+// TMatMulAddInto accumulates dst += aᵀ × b — the fused form of the gradient
+// update G += xᵀ·gy that writes straight into the gradient accumulator
+// instead of materializing the product. dst must not alias a or b.
+func TMatMulAddInto(dst, a, b *Matrix) error {
+	if a.rows != b.rows {
+		return fmt.Errorf("%w: TMatMulAddInto (%dx%d)ᵀ × %dx%d", ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	if dst.rows != a.cols || dst.cols != b.cols {
+		return fmt.Errorf("%w: TMatMulAddInto dst %dx%d, want %dx%d", ErrShape, dst.rows, dst.cols, a.cols, b.cols)
+	}
+	tMatMulAccum(dst, a, b)
+	return nil
 }
 
 // Transpose returns mᵀ.
@@ -302,6 +313,29 @@ func (m *Matrix) Scale(s float64) {
 	}
 }
 
+// MulInPlace multiplies m elementwise by b (m ⊙= b).
+func (m *Matrix) MulInPlace(b *Matrix) error {
+	if m.rows != b.rows || m.cols != b.cols {
+		return fmt.Errorf("%w: MulInPlace %dx%d ⊙= %dx%d", ErrShape, m.rows, m.cols, b.rows, b.cols)
+	}
+	for i, v := range b.data {
+		m.data[i] *= v
+	}
+	return nil
+}
+
+// HadamardInto computes dst = a ⊙ b into a caller-owned destination.
+func HadamardInto(dst, a, b *Matrix) error {
+	if a.rows != b.rows || a.cols != b.cols || dst.rows != a.rows || dst.cols != a.cols {
+		return fmt.Errorf("%w: HadamardInto %dx%d = %dx%d ⊙ %dx%d",
+			ErrShape, dst.rows, dst.cols, a.rows, a.cols, b.rows, b.cols)
+	}
+	for i, v := range a.data {
+		dst.data[i] = v * b.data[i]
+	}
+	return nil
+}
+
 // Hadamard returns the elementwise product a ⊙ b.
 func Hadamard(a, b *Matrix) (*Matrix, error) {
 	if a.rows != b.rows || a.cols != b.cols {
@@ -321,6 +355,18 @@ func (m *Matrix) Apply(f func(float64) float64) *Matrix {
 		out.data[i] = f(v)
 	}
 	return out
+}
+
+// ApplyInto computes dst = f(src) elementwise into a caller-owned
+// destination (the allocation-free form of Apply for training scratch).
+func ApplyInto(dst, src *Matrix, f func(float64) float64) error {
+	if dst.rows != src.rows || dst.cols != src.cols {
+		return fmt.Errorf("%w: ApplyInto %dx%d from %dx%d", ErrShape, dst.rows, dst.cols, src.rows, src.cols)
+	}
+	for i, v := range src.data {
+		dst.data[i] = f(v)
+	}
+	return nil
 }
 
 // ApplyInPlace applies f elementwise in place.
@@ -355,6 +401,22 @@ func (m *Matrix) SumRows() *Matrix {
 		}
 	}
 	return out
+}
+
+// AddSumRows accumulates the 1×cols column-sums of m into dst (dst += Σ
+// rows), row by row in row order — the fused form of the bias-gradient
+// update G += gy.SumRows() that skips the intermediate matrix.
+func AddSumRows(dst, m *Matrix) error {
+	if dst.rows != 1 || dst.cols != m.cols {
+		return fmt.Errorf("%w: AddSumRows %dx%d += colsums of %dx%d", ErrShape, dst.rows, dst.cols, m.rows, m.cols)
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			dst.data[j] += v
+		}
+	}
+	return nil
 }
 
 // Sum returns the sum of all elements.
@@ -407,6 +469,32 @@ func (m *Matrix) SliceRows(from, to int) (*Matrix, error) {
 	out := New(to-from, m.cols)
 	copy(out.data, m.data[from*m.cols:to*m.cols])
 	return out, nil
+}
+
+// RowsView returns rows [from, to) as a view sharing m's backing slice —
+// no copy, mutations are visible both ways. The training pipeline uses it
+// to hand contiguous minibatch blocks to per-worker shards without
+// re-gathering.
+func (m *Matrix) RowsView(from, to int) (*Matrix, error) {
+	if from < 0 || to > m.rows || from > to {
+		return nil, fmt.Errorf("%w: RowsView [%d,%d) of %d rows", ErrShape, from, to, m.rows)
+	}
+	return &Matrix{rows: to - from, cols: m.cols, data: m.data[from*m.cols : to*m.cols]}, nil
+}
+
+// SliceColsInto copies columns [from, to) of m into a caller-owned
+// destination (the allocation-free form of SliceCols).
+func SliceColsInto(dst, m *Matrix, from, to int) error {
+	if from < 0 || to > m.cols || from > to {
+		return fmt.Errorf("%w: SliceColsInto [%d,%d) of %d cols", ErrShape, from, to, m.cols)
+	}
+	if dst.rows != m.rows || dst.cols != to-from {
+		return fmt.Errorf("%w: SliceColsInto dst %dx%d, want %dx%d", ErrShape, dst.rows, dst.cols, m.rows, to-from)
+	}
+	for i := 0; i < m.rows; i++ {
+		copy(dst.Row(i), m.Row(i)[from:to])
+	}
+	return nil
 }
 
 // SliceCols returns a copy of columns [from, to).

@@ -3,6 +3,7 @@ package monitor
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/artifact"
 	"repro/internal/attack"
@@ -38,18 +39,33 @@ type TrainConfig struct {
 	AdversarialEps float64
 	// Seed drives weight init and batch shuffling.
 	Seed int64
+	// Workers caps the data-parallel fan-out inside training: the minibatch
+	// pipeline overlaps batch gather with compute, and nn.Trainer splits
+	// every batch into fixed row blocks run across this many goroutines
+	// (clamped by the shared sweep budget). <= 0 selects all cores; 1 runs
+	// fully serial. Trained weights are byte-identical at every setting, so
+	// Workers is excluded from Fingerprint.
+	Workers int
 }
 
 // FormatVersion identifies the Save/Load encoding of trained monitors.
 // Bump it whenever the serialization, the architectures, or the training
 // procedure changes incompatibly — cached monitors from older versions
 // then become unreachable and are retrained.
-const FormatVersion = 1
+//
+// Version 2: the block-parallel trainer (nn.Trainer) normalizes loss
+// gradients per fixed 32-row block and reduces them in block order, and the
+// LSTM backward now accumulates multi-step parameter gradients in place;
+// both change trained weights relative to the v1 whole-batch path
+// (bit-level, not statistically).
+const FormatVersion = 2
 
 // Fingerprint hashes the canonicalized training configuration (after
 // defaults are filled). Knobs that cannot affect the trained weights are
 // normalized out — SemanticWeight only enters the loss when Semantic is
-// set, so changing it must not invalidate cached non-semantic monitors.
+// set, so changing it must not invalidate cached non-semantic monitors,
+// and Workers is excluded entirely because the trainer's fixed-block
+// reduction makes weights byte-identical at every parallelism setting.
 // It identifies only the recipe; artifact keys for trained monitors must
 // also mix in a fingerprint of the training data.
 func (c TrainConfig) Fingerprint() uint64 {
@@ -140,50 +156,131 @@ func Train(train *dataset.Dataset, cfg TrainConfig) (*MLMonitor, error) {
 	}, nil
 }
 
+// minibatch is one gathered training batch. The x matrix is a fixed-size
+// backing buffer; rows tells how many leading rows are valid (only the
+// final batch of an epoch is short).
+type minibatch struct {
+	x      *mat.Matrix
+	labels []int
+	know   []float64
+	rows   int
+	epoch  int
+}
+
+// fitMinibatch runs minibatch SGD over the training matrix. The hot path is
+// a double-buffered pipeline: a producer goroutine owns the shuffle RNG and
+// gathers batch k+1 into one of two rotating buffers while the consumer
+// trains on batch k through nn.Trainer's block-parallel step. Batch
+// contents and order are a pure function of the seed — never of pipeline
+// timing — and the trainer reduces gradients in fixed block order, so
+// trained weights are byte-identical to the fully serial path (Workers=1),
+// which skips the pipeline entirely.
 func fitMinibatch(model *nn.Model, x *mat.Matrix, labels []int, knowledge []float64, cfg TrainConfig, rng *rand.Rand) error {
 	n := x.Rows()
 	opt := nn.NewAdam(cfg.LR)
+	trainer := nn.NewTrainer(model, opt, cfg.Workers)
 	idx := make([]int, n)
 	for i := range idx {
 		idx[i] = i
 	}
-	// Batch scratch buffers, reused across minibatches: TrainBatch consumes
-	// its inputs within the call, so only the sizes ever change (and only on
-	// the final short batch of an epoch).
 	maxB := min(cfg.BatchSize, n)
-	bx := mat.New(maxB, x.Cols())
-	blabels := make([]int, maxB)
-	bknow := make([]float64, maxB)
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
-		for from := 0; from < n; from += cfg.BatchSize {
-			to := min(from+cfg.BatchSize, n)
-			bsz := to - from
-			if bx.Rows() != bsz {
-				bx = mat.New(bsz, x.Cols())
+	newBuf := func() *minibatch {
+		return &minibatch{
+			x:      mat.New(maxB, x.Cols()),
+			labels: make([]int, maxB),
+			know:   make([]float64, maxB),
+		}
+	}
+	gather := func(dst *minibatch, from, to, epoch int) {
+		bsz := to - from
+		dst.rows, dst.epoch = bsz, epoch
+		for bi := 0; bi < bsz; bi++ {
+			src := idx[from+bi]
+			copy(dst.x.Row(bi), x.Row(src))
+			dst.labels[bi] = labels[src]
+			dst.know[bi] = knowledge[src]
+		}
+	}
+	trainOne := func(b *minibatch) error {
+		bx, err := b.x.RowsView(0, b.rows)
+		if err != nil {
+			return err
+		}
+		bl, bk := b.labels[:b.rows], b.know[:b.rows]
+		if _, err := trainer.Step(bx, bl, bk); err != nil {
+			return fmt.Errorf("monitor: train epoch %d: %w", b.epoch, err)
+		}
+		if cfg.AdversarialEps > 0 {
+			// The inner step of adversarial training: attack the current
+			// model state with the same loss surface being optimized.
+			adv, err := attack.FGSMWithKnowledge(model, bx, bl, bk, cfg.AdversarialEps)
+			if err != nil {
+				return fmt.Errorf("monitor: adversarial batch epoch %d: %w", b.epoch, err)
 			}
-			bl, bk := blabels[:bsz], bknow[:bsz]
-			for bi := 0; bi < bsz; bi++ {
-				src := idx[from+bi]
-				copy(bx.Row(bi), x.Row(src))
-				bl[bi] = labels[src]
-				bk[bi] = knowledge[src]
+			if _, err := trainer.Step(adv, bl, bk); err != nil {
+				return fmt.Errorf("monitor: adversarial train epoch %d: %w", b.epoch, err)
 			}
-			if _, err := model.TrainBatch(bx, bl, bk, opt); err != nil {
-				return fmt.Errorf("monitor: train epoch %d: %w", epoch, err)
-			}
-			if cfg.AdversarialEps > 0 {
-				// The inner step of adversarial training: attack the current
-				// model state with the same loss surface being optimized.
-				adv, err := attack.FGSMWithKnowledge(model, bx, bl, bk, cfg.AdversarialEps)
-				if err != nil {
-					return fmt.Errorf("monitor: adversarial batch epoch %d: %w", epoch, err)
-				}
-				if _, err := model.TrainBatch(adv, bl, bk, opt); err != nil {
-					return fmt.Errorf("monitor: adversarial train epoch %d: %w", epoch, err)
+		}
+		return nil
+	}
+
+	if cfg.Workers == 1 {
+		// Fully serial reference path: gather and train on one goroutine.
+		buf := newBuf()
+		for epoch := 0; epoch < cfg.Epochs; epoch++ {
+			rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+			for from := 0; from < n; from += cfg.BatchSize {
+				gather(buf, from, min(from+cfg.BatchSize, n), epoch)
+				if err := trainOne(buf); err != nil {
+					return err
 				}
 			}
 		}
+		return nil
 	}
-	return nil
+
+	// Double-buffered pipeline: two batch buffers rotate through a free
+	// list; the producer owns idx and rng (so the shuffle sequence is
+	// identical to the serial path) and fills the next buffer while the
+	// consumer trains on the current one.
+	free := make(chan *minibatch, 2)
+	free <- newBuf()
+	free <- newBuf()
+	work := make(chan *minibatch, 2)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(work)
+		for epoch := 0; epoch < cfg.Epochs; epoch++ {
+			rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+			for from := 0; from < n; from += cfg.BatchSize {
+				var buf *minibatch
+				select {
+				case buf = <-free:
+				case <-done:
+					return
+				}
+				gather(buf, from, min(from+cfg.BatchSize, n), epoch)
+				select {
+				case work <- buf:
+				case <-done:
+					return
+				}
+			}
+		}
+	}()
+	var trainErr error
+	for buf := range work {
+		if trainErr == nil {
+			trainErr = trainOne(buf)
+			if trainErr != nil {
+				close(done) // unblock the producer; drain the rest
+			}
+		}
+		free <- buf
+	}
+	wg.Wait()
+	return trainErr
 }

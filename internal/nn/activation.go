@@ -6,9 +6,20 @@ import (
 	"repro/internal/mat"
 )
 
+// ensureScratch returns m when it already has the wanted shape, else a fresh
+// zeroed matrix — the one-liner behind every layer's reusable training
+// scratch.
+func ensureScratch(m *mat.Matrix, rows, cols int) *mat.Matrix {
+	if m != nil && m.Rows() == rows && m.Cols() == cols {
+		return m
+	}
+	return mat.New(rows, cols)
+}
+
 // ReLU is the rectified-linear activation layer.
 type ReLU struct {
-	mask *mat.Matrix // 1 where input > 0
+	mask *mat.Matrix // 1 where input > 0; training scratch
+	out  *mat.Matrix // training scratch
 }
 
 var _ Layer = (*ReLU)(nil)
@@ -22,15 +33,20 @@ func (r *ReLU) Name() string { return "relu" }
 // OutputSize implements Layer.
 func (r *ReLU) OutputSize(inputSize int) (int, error) { return inputSize, nil }
 
-// Forward implements Layer.
+// Forward implements Layer. The returned matrix is layer-owned scratch,
+// valid until the next Forward on this layer.
 func (r *ReLU) Forward(x *mat.Matrix) (*mat.Matrix, error) {
-	r.mask = x.Apply(func(v float64) float64 {
+	r.mask = ensureScratch(r.mask, x.Rows(), x.Cols())
+	r.out = ensureScratch(r.out, x.Rows(), x.Cols())
+	xd, md, od := x.Data(), r.mask.Data(), r.out.Data()
+	for i, v := range xd {
 		if v > 0 {
-			return 1
+			md[i], od[i] = 1, v
+		} else {
+			md[i], od[i] = 0, 0
 		}
-		return 0
-	})
-	return x.Apply(func(v float64) float64 { return math.Max(0, v) }), nil
+	}
+	return r.out, nil
 }
 
 // Infer implements Layer.
@@ -41,16 +57,19 @@ func (r *ReLU) Infer(x *mat.Matrix) (*mat.Matrix, error) {
 // CloneLayer implements Layer.
 func (r *ReLU) CloneLayer() Layer { return &ReLU{} }
 
-// Backward implements Layer.
+// Replicate implements Layer.
+func (r *ReLU) Replicate() Layer { return &ReLU{} }
+
+// Backward implements Layer. The gradient is masked in place and returned —
+// gradOut is consumed.
 func (r *ReLU) Backward(gradOut *mat.Matrix) (*mat.Matrix, error) {
 	if r.mask == nil {
 		return nil, ErrNotReady
 	}
-	gx, err := mat.Hadamard(gradOut, r.mask)
-	if err != nil {
+	if err := gradOut.MulInPlace(r.mask); err != nil {
 		return nil, err
 	}
-	return gx, nil
+	return gradOut, nil
 }
 
 // Params implements Layer.
@@ -58,7 +77,7 @@ func (r *ReLU) Params() []*Param { return nil }
 
 // Tanh is the hyperbolic-tangent activation layer.
 type Tanh struct {
-	out *mat.Matrix
+	out *mat.Matrix // training scratch
 }
 
 var _ Layer = (*Tanh)(nil)
@@ -72,9 +91,13 @@ func (t *Tanh) Name() string { return "tanh" }
 // OutputSize implements Layer.
 func (t *Tanh) OutputSize(inputSize int) (int, error) { return inputSize, nil }
 
-// Forward implements Layer.
+// Forward implements Layer. The returned matrix is layer-owned scratch,
+// valid until the next Forward on this layer.
 func (t *Tanh) Forward(x *mat.Matrix) (*mat.Matrix, error) {
-	t.out = x.Apply(math.Tanh)
+	t.out = ensureScratch(t.out, x.Rows(), x.Cols())
+	if err := mat.ApplyInto(t.out, x, math.Tanh); err != nil {
+		return nil, err
+	}
 	return t.out, nil
 }
 
@@ -86,13 +109,23 @@ func (t *Tanh) Infer(x *mat.Matrix) (*mat.Matrix, error) {
 // CloneLayer implements Layer.
 func (t *Tanh) CloneLayer() Layer { return &Tanh{} }
 
-// Backward implements Layer.
+// Replicate implements Layer.
+func (t *Tanh) Replicate() Layer { return &Tanh{} }
+
+// Backward implements Layer: gradOut is scaled by 1−y² in place and
+// returned.
 func (t *Tanh) Backward(gradOut *mat.Matrix) (*mat.Matrix, error) {
 	if t.out == nil {
 		return nil, ErrNotReady
 	}
-	deriv := t.out.Apply(func(y float64) float64 { return 1 - y*y })
-	return mat.Hadamard(gradOut, deriv)
+	if gradOut.Rows() != t.out.Rows() || gradOut.Cols() != t.out.Cols() {
+		return nil, ErrNotReady
+	}
+	gd, od := gradOut.Data(), t.out.Data()
+	for i, y := range od {
+		gd[i] *= 1 - y*y
+	}
+	return gradOut, nil
 }
 
 // Params implements Layer.
@@ -100,7 +133,7 @@ func (t *Tanh) Params() []*Param { return nil }
 
 // Sigmoid is the logistic activation layer.
 type Sigmoid struct {
-	out *mat.Matrix
+	out *mat.Matrix // training scratch
 }
 
 var _ Layer = (*Sigmoid)(nil)
@@ -114,9 +147,13 @@ func (s *Sigmoid) Name() string { return "sigmoid" }
 // OutputSize implements Layer.
 func (s *Sigmoid) OutputSize(inputSize int) (int, error) { return inputSize, nil }
 
-// Forward implements Layer.
+// Forward implements Layer. The returned matrix is layer-owned scratch,
+// valid until the next Forward on this layer.
 func (s *Sigmoid) Forward(x *mat.Matrix) (*mat.Matrix, error) {
-	s.out = x.Apply(sigmoid)
+	s.out = ensureScratch(s.out, x.Rows(), x.Cols())
+	if err := mat.ApplyInto(s.out, x, sigmoid); err != nil {
+		return nil, err
+	}
 	return s.out, nil
 }
 
@@ -128,13 +165,23 @@ func (s *Sigmoid) Infer(x *mat.Matrix) (*mat.Matrix, error) {
 // CloneLayer implements Layer.
 func (s *Sigmoid) CloneLayer() Layer { return &Sigmoid{} }
 
-// Backward implements Layer.
+// Replicate implements Layer.
+func (s *Sigmoid) Replicate() Layer { return &Sigmoid{} }
+
+// Backward implements Layer: gradOut is scaled by y(1−y) in place and
+// returned.
 func (s *Sigmoid) Backward(gradOut *mat.Matrix) (*mat.Matrix, error) {
 	if s.out == nil {
 		return nil, ErrNotReady
 	}
-	deriv := s.out.Apply(func(y float64) float64 { return y * (1 - y) })
-	return mat.Hadamard(gradOut, deriv)
+	if gradOut.Rows() != s.out.Rows() || gradOut.Cols() != s.out.Cols() {
+		return nil, ErrNotReady
+	}
+	gd, od := gradOut.Data(), s.out.Data()
+	for i, y := range od {
+		gd[i] *= y * (1 - y)
+	}
+	return gradOut, nil
 }
 
 // Params implements Layer.

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/mat"
+	"repro/internal/sweep"
 )
 
 func testModels(t *testing.T) map[string]*Model {
@@ -171,5 +172,137 @@ func TestConcurrentInputGradientOnClones(t *testing.T) {
 			}()
 		}
 		wg.Wait()
+	}
+}
+
+// trainerSnapshot runs steps optimization steps through a Trainer at the
+// given worker count and returns deep copies of the resulting weights.
+func trainerSnapshot(t *testing.T, build func(t *testing.T) *Model, workers, steps int) []*mat.Matrix {
+	t.Helper()
+	m := build(t)
+	tr := NewTrainer(m, NewAdam(0.01), workers)
+	rng := rand.New(rand.NewSource(21))
+	const n = 100
+	x := mat.RandNormal(rng, n, m.InputSize(), 1)
+	labels := make([]int, n)
+	know := make([]float64, n)
+	for i := range labels {
+		labels[i] = i % 2
+		know[i] = float64((i / 3) % 2)
+	}
+	for s := 0; s < steps; s++ {
+		if _, err := tr.Step(x, labels, know); err != nil {
+			t.Fatalf("step %d: %v", s, err)
+		}
+	}
+	var ws []*mat.Matrix
+	for _, p := range m.Params() {
+		ws = append(ws, p.W.Clone())
+	}
+	return ws
+}
+
+// TestTrainerDeterministicAcrossWorkers pins the tentpole contract of the
+// data-parallel trainer: weights after training are byte-identical at every
+// worker count, because the batch is always cut into the same fixed 32-row
+// blocks and per-block gradients reduce in block order.
+func TestTrainerDeterministicAcrossWorkers(t *testing.T) {
+	sweep.SetBudget(8)
+	defer sweep.SetBudget(0)
+	builders := map[string]func(t *testing.T) *Model{
+		"mlp": func(t *testing.T) *Model {
+			rng := rand.New(rand.NewSource(8))
+			m, err := NewMLPClassifier(rng, 8, MLPConfig{Hidden1: 16, Hidden2: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m
+		},
+		"lstm-semantic": func(t *testing.T) *Model {
+			rng := rand.New(rand.NewSource(9))
+			m, err := NewLSTMClassifier(rng, 6, LSTMConfig{
+				Hidden1: 8, Hidden2: 4, Steps: 3,
+				Loss: SemanticLoss{Weight: 0.5, UnsafeClass: 1},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m
+		},
+	}
+	for name, build := range builders {
+		ref := trainerSnapshot(t, build, 1, 4)
+		for _, workers := range []int{2, 4, 8} {
+			got := trainerSnapshot(t, build, workers, 4)
+			for i := range ref {
+				if !mat.Equal(ref[i], got[i], 0) {
+					t.Fatalf("%s: weights differ between workers=1 and workers=%d (param %d)", name, workers, i)
+				}
+			}
+		}
+	}
+}
+
+// TestTrainerSingleBlockMatchesTrainBatch pins the blocked trainer to the
+// classic whole-batch path: a batch of exactly one block must reproduce the
+// TrainBatch weight trajectory bit for bit.
+func TestTrainerSingleBlockMatchesTrainBatch(t *testing.T) {
+	build := func() *Model {
+		rng := rand.New(rand.NewSource(13))
+		m, err := NewMLPClassifier(rng, 5, MLPConfig{Hidden1: 12, Hidden2: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	rng := rand.New(rand.NewSource(14))
+	const n = 32 // exactly trainBlockRows
+	x := mat.RandNormal(rng, n, 5, 1)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = i % 2
+	}
+	classic := build()
+	opt1 := NewAdam(0.01)
+	for s := 0; s < 5; s++ {
+		if _, err := classic.TrainBatch(x, labels, nil, opt1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blocked := build()
+	tr := NewTrainer(blocked, NewAdam(0.01), 1)
+	for s := 0; s < 5; s++ {
+		if _, err := tr.Step(x, labels, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cp, bp := classic.Params(), blocked.Params()
+	for i := range cp {
+		if !mat.Equal(cp[i].W, bp[i].W, 0) {
+			t.Fatalf("param %q: blocked trainer diverged from TrainBatch on a single block", cp[i].Name)
+		}
+	}
+}
+
+// TestReplicateSharesWeights checks the shard contract: replicas see weight
+// updates on the original instantly (shared W) but keep gradients private.
+func TestReplicateSharesWeights(t *testing.T) {
+	for name, m := range testModels(t) {
+		rep, err := m.Replicate()
+		if err != nil {
+			t.Fatalf("%s replicate: %v", name, err)
+		}
+		mp, rp := m.Params(), rep.Params()
+		if len(mp) != len(rp) {
+			t.Fatalf("%s: param count differs", name)
+		}
+		for i := range mp {
+			if mp[i].W != rp[i].W {
+				t.Fatalf("%s: replica param %q does not share weights", name, mp[i].Name)
+			}
+			if mp[i].G == rp[i].G {
+				t.Fatalf("%s: replica param %q shares the gradient accumulator", name, mp[i].Name)
+			}
+		}
 	}
 }

@@ -14,6 +14,12 @@ type Dense struct {
 	b       *Param // 1×out
 
 	lastInput *mat.Matrix // cached for backward
+
+	// Training-path scratch, reused across batches of the same size (the
+	// per-model workspace that kills the per-batch allocations). The
+	// concurrency-safe Infer path never touches these.
+	y  *mat.Matrix // forward output
+	gx *mat.Matrix // backward input-gradient
 }
 
 var _ Layer = (*Dense)(nil)
@@ -42,13 +48,26 @@ func (d *Dense) OutputSize(inputSize int) (int, error) {
 	return d.out, nil
 }
 
-// Forward implements Layer.
+// Forward implements Layer. The returned matrix is layer-owned scratch,
+// valid until the next Forward on this layer.
 func (d *Dense) Forward(x *mat.Matrix) (*mat.Matrix, error) {
+	if x.Cols() != d.in {
+		return nil, fmt.Errorf("nn: dense forward: %d input cols, want %d", x.Cols(), d.in)
+	}
 	d.lastInput = x
-	return d.Infer(x)
+	d.y = ensureScratch(d.y, x.Rows(), d.out)
+	d.gx = ensureScratch(d.gx, x.Rows(), d.in)
+	if err := mat.MatMulInto(d.y, x, d.w.W); err != nil {
+		return nil, fmt.Errorf("nn: dense forward: %w", err)
+	}
+	if err := d.y.AddRowVector(d.b.W); err != nil {
+		return nil, fmt.Errorf("nn: dense forward bias: %w", err)
+	}
+	return d.y, nil
 }
 
-// Infer implements Layer: the forward product without the backward cache.
+// Infer implements Layer: the forward product without the backward cache or
+// scratch reuse, so any number of goroutines may share the layer.
 func (d *Dense) Infer(x *mat.Matrix) (*mat.Matrix, error) {
 	if x.Cols() != d.in {
 		return nil, fmt.Errorf("nn: dense forward: %d input cols, want %d", x.Cols(), d.in)
@@ -68,26 +87,27 @@ func (d *Dense) CloneLayer() Layer {
 	return &Dense{in: d.in, out: d.out, w: cloneParam(d.w), b: cloneParam(d.b)}
 }
 
-// Backward implements Layer.
+// Replicate implements Layer: shared weights, private caches and gradients.
+func (d *Dense) Replicate() Layer {
+	return &Dense{in: d.in, out: d.out, w: shareParam(d.w), b: shareParam(d.b)}
+}
+
+// Backward implements Layer. The returned gradient is layer-owned scratch,
+// valid until the next Forward/Backward on this layer.
 func (d *Dense) Backward(gradOut *mat.Matrix) (*mat.Matrix, error) {
 	if d.lastInput == nil {
 		return nil, ErrNotReady
 	}
-	gw, err := mat.TMatMul(d.lastInput, gradOut) // xᵀ·gy
-	if err != nil {
+	if err := mat.TMatMulAddInto(d.w.G, d.lastInput, gradOut); err != nil { // dW += xᵀ·gy
 		return nil, fmt.Errorf("nn: dense backward dW: %w", err)
 	}
-	if err := d.w.G.AddInPlace(gw); err != nil {
-		return nil, fmt.Errorf("nn: dense backward accumulate dW: %w", err)
-	}
-	if err := d.b.G.AddInPlace(gradOut.SumRows()); err != nil {
+	if err := mat.AddSumRows(d.b.G, gradOut); err != nil {
 		return nil, fmt.Errorf("nn: dense backward db: %w", err)
 	}
-	gx, err := mat.MatMulT(gradOut, d.w.W) // gy·Wᵀ
-	if err != nil {
+	if err := mat.MatMulTInto(d.gx, gradOut, d.w.W); err != nil { // dx = gy·Wᵀ
 		return nil, fmt.Errorf("nn: dense backward dx: %w", err)
 	}
-	return gx, nil
+	return d.gx, nil
 }
 
 // Params implements Layer.

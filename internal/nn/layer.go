@@ -55,6 +55,12 @@ type Layer interface {
 	// CloneLayer deep-copies the layer: independent parameters, gradient
 	// accumulators and caches.
 	CloneLayer() Layer
+	// Replicate returns a layer that SHARES this layer's weight matrices but
+	// has private backward caches and a private gradient accumulator — the
+	// data-parallel training shard. Replicas may Forward/Backward
+	// concurrently with each other (weights are only read), but never
+	// concurrently with an optimizer step on the shared weights.
+	Replicate() Layer
 	// Params returns the trainable parameters (nil for stateless layers).
 	Params() []*Param
 }
@@ -62,6 +68,12 @@ type Layer interface {
 // cloneParam deep-copies a parameter with a fresh (zeroed) gradient.
 func cloneParam(p *Param) *Param {
 	return newParam(p.Name, p.W.Clone())
+}
+
+// shareParam aliases a parameter's weights with a fresh (zeroed) gradient
+// accumulator — the replica form used by data-parallel training shards.
+func shareParam(p *Param) *Param {
+	return &Param{Name: p.Name, W: p.W, G: mat.New(p.W.Rows(), p.W.Cols())}
 }
 
 // ZeroGrads clears the gradient accumulators of all params.

@@ -27,19 +27,40 @@ type LSTM struct {
 	wh *Param // hidden × 4·hidden
 	b  *Param // 1 × 4·hidden
 
-	cache *lstmCache
+	// ws is the training workspace: every per-step activation and backward
+	// temporary, allocated once per batch size and reused across batches
+	// (the per-model workspace that kills the per-batch allocations). The
+	// concurrency-safe Infer path never touches it.
+	ws *lstmScratch
+	// cache marks the workspace as holding a recorded forward pass.
+	cache *lstmScratch
 }
 
-type lstmCache struct {
+// lstmScratch holds the unrolled activations Backward consumes plus all
+// backward temporaries, sized for one batch shape.
+type lstmScratch struct {
 	batch int
-	xs    []*mat.Matrix // per-step inputs (batch × inputSize)
-	is    []*mat.Matrix // gate activations (batch × hidden) each
-	fs    []*mat.Matrix
-	gs    []*mat.Matrix
-	os    []*mat.Matrix
-	cs    []*mat.Matrix // cell states, cs[t] is c_t (t from 0)
-	hs    []*mat.Matrix // hidden states
-	tcs   []*mat.Matrix // tanh(c_t)
+
+	// Forward state, per step.
+	xs  []*mat.Matrix // inputs (batch × inputSize)
+	is  []*mat.Matrix // gate activations (batch × hidden) each
+	fs  []*mat.Matrix
+	gs  []*mat.Matrix
+	os  []*mat.Matrix
+	cs  []*mat.Matrix // cell states, cs[t] is c_t (t from 0)
+	hs  []*mat.Matrix // hidden states
+	tcs []*mat.Matrix // tanh(c_t)
+
+	z, zh  *mat.Matrix // pre-activation temporaries (batch × 4·hidden)
+	h0, c0 *mat.Matrix // step-0 previous states; always zero, never written
+	seqOut *mat.Matrix // stacked hidden states when returnSeqs
+
+	// Backward temporaries.
+	dz       *mat.Matrix // gate pre-activation grads (batch × 4·hidden)
+	dhA, dhB *mat.Matrix // recurrent / staged hidden-state grads
+	dcA, dcB *mat.Matrix // cell-state grads (ping-pong)
+	dxt      *mat.Matrix // per-step input grad
+	gradX    *mat.Matrix // full input grad (batch × steps·inputSize)
 }
 
 var _ Layer = (*LSTM)(nil)
@@ -89,74 +110,144 @@ func (l *LSTM) OutputSize(inputSize int) (int, error) {
 	return l.hidden, nil
 }
 
-// Forward implements Layer.
-func (l *LSTM) Forward(x *mat.Matrix) (*mat.Matrix, error) {
-	out, cache, err := l.run(x, true)
-	if err != nil {
-		return nil, err
+func newLSTMScratch(l *LSTM, batch int) *lstmScratch {
+	H, T := l.hidden, l.steps
+	perStep := func(cols int) []*mat.Matrix {
+		ms := make([]*mat.Matrix, T)
+		for t := range ms {
+			ms[t] = mat.New(batch, cols)
+		}
+		return ms
 	}
-	l.cache = cache
-	return out, nil
+	ws := &lstmScratch{
+		batch: batch,
+		xs:    perStep(l.inputSize),
+		is:    perStep(H),
+		fs:    perStep(H),
+		gs:    perStep(H),
+		os:    perStep(H),
+		cs:    perStep(H),
+		hs:    perStep(H),
+		tcs:   perStep(H),
+		z:     mat.New(batch, 4*H),
+		zh:    mat.New(batch, 4*H),
+		h0:    mat.New(batch, H),
+		c0:    mat.New(batch, H),
+		dz:    mat.New(batch, 4*H),
+		dhA:   mat.New(batch, H),
+		dhB:   mat.New(batch, H),
+		dcA:   mat.New(batch, H),
+		dcB:   mat.New(batch, H),
+		dxt:   mat.New(batch, l.inputSize),
+		gradX: mat.New(batch, T*l.inputSize),
+	}
+	if l.returnSeqs {
+		ws.seqOut = mat.New(batch, T*H)
+	}
+	return ws
+}
+
+// Forward implements Layer: the unrolled recurrence, recording the per-step
+// activations Backward consumes in the reusable workspace. The returned
+// matrix is layer-owned scratch, valid until the next Forward on this layer.
+func (l *LSTM) Forward(x *mat.Matrix) (*mat.Matrix, error) {
+	if x.Cols() != l.steps*l.inputSize {
+		return nil, fmt.Errorf("nn: lstm forward: %d input cols, want %d", x.Cols(), l.steps*l.inputSize)
+	}
+	batch := x.Rows()
+	ws := l.ws
+	if ws == nil || ws.batch != batch {
+		ws = newLSTMScratch(l, batch)
+		l.ws = ws
+	}
+	H := l.hidden
+	h, cell := ws.h0, ws.c0
+	for t := 0; t < l.steps; t++ {
+		xt := ws.xs[t]
+		if err := mat.SliceColsInto(xt, x, t*l.inputSize, (t+1)*l.inputSize); err != nil {
+			return nil, fmt.Errorf("nn: lstm forward step %d: %w", t, err)
+		}
+		if err := mat.MatMulInto(ws.z, xt, l.wx.W); err != nil {
+			return nil, fmt.Errorf("nn: lstm forward Wx step %d: %w", t, err)
+		}
+		if err := mat.MatMulInto(ws.zh, h, l.wh.W); err != nil {
+			return nil, fmt.Errorf("nn: lstm forward Wh step %d: %w", t, err)
+		}
+		if err := ws.z.AddInPlace(ws.zh); err != nil {
+			return nil, err
+		}
+		if err := ws.z.AddRowVector(l.b.W); err != nil {
+			return nil, err
+		}
+
+		gateSliceInto(ws.is[t], ws.z, 0, H, sigmoid)
+		gateSliceInto(ws.fs[t], ws.z, H, H, sigmoid)
+		gateSliceInto(ws.gs[t], ws.z, 2*H, H, math.Tanh)
+		gateSliceInto(ws.os[t], ws.z, 3*H, H, sigmoid)
+
+		newCell := ws.cs[t]
+		for i := 0; i < batch; i++ {
+			cr, fr, ir, gr, nr := cell.Row(i), ws.fs[t].Row(i), ws.is[t].Row(i), ws.gs[t].Row(i), newCell.Row(i)
+			for j := 0; j < H; j++ {
+				nr[j] = fr[j]*cr[j] + ir[j]*gr[j]
+			}
+		}
+		if err := mat.ApplyInto(ws.tcs[t], newCell, math.Tanh); err != nil {
+			return nil, err
+		}
+		if err := mat.HadamardInto(ws.hs[t], ws.os[t], ws.tcs[t]); err != nil {
+			return nil, err
+		}
+		cell, h = newCell, ws.hs[t]
+
+		if l.returnSeqs {
+			if err := ws.seqOut.SetCols(t*H, h); err != nil {
+				return nil, err
+			}
+		}
+	}
+	l.cache = ws
+	if l.returnSeqs {
+		return ws.seqOut, nil
+	}
+	return ws.hs[l.steps-1], nil
 }
 
 // Infer implements Layer: the unrolled forward pass without the backward
-// cache, so concurrent goroutines can share one trained layer.
+// cache or shared scratch, so concurrent goroutines can share one trained
+// layer. It performs the exact arithmetic of Forward.
 func (l *LSTM) Infer(x *mat.Matrix) (*mat.Matrix, error) {
-	out, _, err := l.run(x, false)
-	return out, err
-}
-
-// run unrolls the recurrence. With record set it returns the per-step
-// activations Backward consumes; without, it only materializes the states of
-// the current step and touches no layer fields.
-func (l *LSTM) run(x *mat.Matrix, record bool) (*mat.Matrix, *lstmCache, error) {
 	if x.Cols() != l.steps*l.inputSize {
-		return nil, nil, fmt.Errorf("nn: lstm forward: %d input cols, want %d", x.Cols(), l.steps*l.inputSize)
+		return nil, fmt.Errorf("nn: lstm forward: %d input cols, want %d", x.Cols(), l.steps*l.inputSize)
 	}
 	batch := x.Rows()
-	var c *lstmCache
-	if record {
-		c = &lstmCache{
-			batch: batch,
-			xs:    make([]*mat.Matrix, l.steps),
-			is:    make([]*mat.Matrix, l.steps),
-			fs:    make([]*mat.Matrix, l.steps),
-			gs:    make([]*mat.Matrix, l.steps),
-			os:    make([]*mat.Matrix, l.steps),
-			cs:    make([]*mat.Matrix, l.steps),
-			hs:    make([]*mat.Matrix, l.steps),
-			tcs:   make([]*mat.Matrix, l.steps),
-		}
-	}
-	h := mat.New(batch, l.hidden)
-	cell := mat.New(batch, l.hidden)
+	H := l.hidden
+	h := mat.New(batch, H)
+	cell := mat.New(batch, H)
 	var seqOut *mat.Matrix
 	if l.returnSeqs {
-		seqOut = mat.New(batch, l.steps*l.hidden)
+		seqOut = mat.New(batch, l.steps*H)
 	}
-
 	for t := 0; t < l.steps; t++ {
 		xt, err := x.SliceCols(t*l.inputSize, (t+1)*l.inputSize)
 		if err != nil {
-			return nil, nil, fmt.Errorf("nn: lstm forward step %d: %w", t, err)
+			return nil, fmt.Errorf("nn: lstm forward step %d: %w", t, err)
 		}
-
 		z, err := mat.MatMul(xt, l.wx.W)
 		if err != nil {
-			return nil, nil, fmt.Errorf("nn: lstm forward Wx step %d: %w", t, err)
+			return nil, fmt.Errorf("nn: lstm forward Wx step %d: %w", t, err)
 		}
 		zh, err := mat.MatMul(h, l.wh.W)
 		if err != nil {
-			return nil, nil, fmt.Errorf("nn: lstm forward Wh step %d: %w", t, err)
+			return nil, fmt.Errorf("nn: lstm forward Wh step %d: %w", t, err)
 		}
 		if err := z.AddInPlace(zh); err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		if err := z.AddRowVector(l.b.W); err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 
-		H := l.hidden
 		it := gateSlice(z, 0, H, sigmoid)
 		ft := gateSlice(z, H, H, sigmoid)
 		gt := gateSlice(z, 2*H, H, math.Tanh)
@@ -172,26 +263,20 @@ func (l *LSTM) run(x *mat.Matrix, record bool) (*mat.Matrix, *lstmCache, error) 
 		tc := newCell.Apply(math.Tanh)
 		newH, err := mat.Hadamard(ot, tc)
 		if err != nil {
-			return nil, nil, err
-		}
-
-		if record {
-			c.xs[t] = xt
-			c.is[t], c.fs[t], c.gs[t], c.os[t] = it, ft, gt, ot
-			c.cs[t], c.hs[t], c.tcs[t] = newCell, newH, tc
+			return nil, err
 		}
 		cell, h = newCell, newH
 
 		if l.returnSeqs {
-			if err := seqOut.SetCols(t*l.hidden, h); err != nil {
-				return nil, nil, err
+			if err := seqOut.SetCols(t*H, h); err != nil {
+				return nil, err
 			}
 		}
 	}
 	if l.returnSeqs {
-		return seqOut, c, nil
+		return seqOut, nil
 	}
-	return h.Clone(), c, nil
+	return h, nil
 }
 
 // CloneLayer implements Layer.
@@ -207,26 +292,47 @@ func (l *LSTM) CloneLayer() Layer {
 	}
 }
 
+// Replicate implements Layer: shared weights, private workspace and
+// gradients.
+func (l *LSTM) Replicate() Layer {
+	return &LSTM{
+		inputSize:  l.inputSize,
+		hidden:     l.hidden,
+		steps:      l.steps,
+		returnSeqs: l.returnSeqs,
+		wx:         shareParam(l.wx),
+		wh:         shareParam(l.wh),
+		b:          shareParam(l.b),
+	}
+}
+
 // gateSlice extracts columns [from, from+width) of z and applies fn.
 func gateSlice(z *mat.Matrix, from, width int, fn func(float64) float64) *mat.Matrix {
 	out := mat.New(z.Rows(), width)
+	gateSliceInto(out, z, from, width, fn)
+	return out
+}
+
+// gateSliceInto extracts columns [from, from+width) of z into dst, applying
+// fn elementwise.
+func gateSliceInto(dst, z *mat.Matrix, from, width int, fn func(float64) float64) {
 	for i := 0; i < z.Rows(); i++ {
 		zr := z.Row(i)[from : from+width]
-		or := out.Row(i)
+		or := dst.Row(i)
 		for j, v := range zr {
 			or[j] = fn(v)
 		}
 	}
-	return out
 }
 
-// Backward implements Layer.
+// Backward implements Layer. The returned gradient is layer-owned scratch,
+// valid until the next Forward/Backward on this layer.
 func (l *LSTM) Backward(gradOut *mat.Matrix) (*mat.Matrix, error) {
-	c := l.cache
-	if c == nil {
+	ws := l.cache
+	if ws == nil {
 		return nil, ErrNotReady
 	}
-	H, batch := l.hidden, c.batch
+	H, batch := l.hidden, ws.batch
 
 	wantCols := H
 	if l.returnSeqs {
@@ -237,44 +343,43 @@ func (l *LSTM) Backward(gradOut *mat.Matrix) (*mat.Matrix, error) {
 			gradOut.Rows(), gradOut.Cols(), batch, wantCols)
 	}
 
-	gradX := mat.New(batch, l.steps*l.inputSize)
-	dhNext := mat.New(batch, H)
-	dcNext := mat.New(batch, H)
-	dz := mat.New(batch, 4*H)
+	gradX := ws.gradX
+	dhNext, dhStage := ws.dhA, ws.dhB
+	dcNext, dcPrev := ws.dcA, ws.dcB
+	dhNext.Zero()
+	dcNext.Zero()
+	dz := ws.dz
 
 	for t := l.steps - 1; t >= 0; t-- {
 		// dh = upstream output grad at step t (if any) + recurrent grad.
 		dh := dhNext
 		if l.returnSeqs {
-			g, err := gradOut.SliceCols(t*H, (t+1)*H)
-			if err != nil {
+			if err := mat.SliceColsInto(dhStage, gradOut, t*H, (t+1)*H); err != nil {
 				return nil, err
 			}
-			if err := g.AddInPlace(dh); err != nil {
+			if err := dhStage.AddInPlace(dhNext); err != nil {
 				return nil, err
 			}
-			dh = g
+			dh = dhStage
 		} else if t == l.steps-1 {
-			g := gradOut.Clone()
-			if err := g.AddInPlace(dh); err != nil {
+			if err := dhStage.CopyFrom(gradOut); err != nil {
 				return nil, err
 			}
-			dh = g
+			if err := dhStage.AddInPlace(dhNext); err != nil {
+				return nil, err
+			}
+			dh = dhStage
 		}
 
-		var cPrev *mat.Matrix
+		cPrev := ws.c0
 		if t > 0 {
-			cPrev = c.cs[t-1]
-		} else {
-			cPrev = mat.New(batch, H)
+			cPrev = ws.cs[t-1]
 		}
 
-		dcPrev := mat.New(batch, H)
-		dz.Zero()
 		for i := 0; i < batch; i++ {
 			dhr, dcr := dh.Row(i), dcNext.Row(i)
-			ir, fr, gr, or := c.is[t].Row(i), c.fs[t].Row(i), c.gs[t].Row(i), c.os[t].Row(i)
-			tcr, cpr := c.tcs[t].Row(i), cPrev.Row(i)
+			ir, fr, gr, or := ws.is[t].Row(i), ws.fs[t].Row(i), ws.gs[t].Row(i), ws.os[t].Row(i)
+			tcr, cpr := ws.tcs[t].Row(i), cPrev.Row(i)
 			dzr := dz.Row(i)
 			dcpr := dcPrev.Row(i)
 			for j := 0; j < H; j++ {
@@ -293,44 +398,32 @@ func (l *LSTM) Backward(gradOut *mat.Matrix) (*mat.Matrix, error) {
 			}
 		}
 
-		// Parameter gradients.
-		gwx, err := mat.TMatMul(c.xs[t], dz)
-		if err != nil {
+		// Parameter gradients, accumulated straight into the shared buffers.
+		if err := mat.TMatMulAddInto(l.wx.G, ws.xs[t], dz); err != nil {
 			return nil, err
 		}
-		if err := l.wx.G.AddInPlace(gwx); err != nil {
-			return nil, err
-		}
-		var hPrev *mat.Matrix
+		hPrev := ws.h0
 		if t > 0 {
-			hPrev = c.hs[t-1]
-		} else {
-			hPrev = mat.New(batch, H)
+			hPrev = ws.hs[t-1]
 		}
-		gwh, err := mat.TMatMul(hPrev, dz)
-		if err != nil {
+		if err := mat.TMatMulAddInto(l.wh.G, hPrev, dz); err != nil {
 			return nil, err
 		}
-		if err := l.wh.G.AddInPlace(gwh); err != nil {
-			return nil, err
-		}
-		if err := l.b.G.AddInPlace(dz.SumRows()); err != nil {
+		if err := mat.AddSumRows(l.b.G, dz); err != nil {
 			return nil, err
 		}
 
 		// Input and recurrent gradients.
-		dxt, err := mat.MatMulT(dz, l.wx.W)
-		if err != nil {
+		if err := mat.MatMulTInto(ws.dxt, dz, l.wx.W); err != nil {
 			return nil, err
 		}
-		if err := gradX.SetCols(t*l.inputSize, dxt); err != nil {
+		if err := gradX.SetCols(t*l.inputSize, ws.dxt); err != nil {
 			return nil, err
 		}
-		dhPrev, err := mat.MatMulT(dz, l.wh.W)
-		if err != nil {
+		if err := mat.MatMulTInto(dhNext, dz, l.wh.W); err != nil {
 			return nil, err
 		}
-		dhNext, dcNext = dhPrev, dcPrev
+		dcNext, dcPrev = dcPrev, dcNext
 	}
 	return gradX, nil
 }

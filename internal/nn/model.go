@@ -185,6 +185,19 @@ func (m *Model) Clone() (*Model, error) {
 	return NewModel(m.inSize, m.loss, layers...)
 }
 
+// Replicate returns a model that shares this model's weight matrices but has
+// private per-layer caches and gradient accumulators — the data-parallel
+// training shard. Replicas may run Forward/backward concurrently with each
+// other (weights are only read); the Trainer serializes optimizer steps on
+// the shared weights against all shard work.
+func (m *Model) Replicate() (*Model, error) {
+	layers := make([]Layer, len(m.layers))
+	for i, l := range m.layers {
+		layers[i] = l.Replicate()
+	}
+	return NewModel(m.inSize, m.loss, layers...)
+}
+
 // InputGradient returns d(loss)/d(input) for a batch — the quantity FGSM
 // needs (Eq 4: ∆x = ε·sign(∇_x J(x, y))). Parameter gradients touched along
 // the way are zeroed before returning.
@@ -202,5 +215,7 @@ func (m *Model) InputGradient(x *mat.Matrix, labels []int, knowledge []float64) 
 		return nil, err
 	}
 	ZeroGrads(m.Params())
-	return gradIn, nil
+	// The backward chain returns layer-owned scratch; hand the caller an
+	// independent copy so the gradient survives the model's next pass.
+	return gradIn.Clone(), nil
 }

@@ -14,7 +14,9 @@ type Optimizer interface {
 	Step(params []*Param) error
 }
 
-// SGD is plain stochastic gradient descent with optional momentum.
+// SGD is plain stochastic gradient descent with optional momentum. The zero
+// value (or a struct literal) is ready to use: per-parameter state is
+// initialized lazily on the first Step.
 type SGD struct {
 	LR       float64
 	Momentum float64
@@ -38,6 +40,11 @@ func (s *SGD) Step(params []*Param) error {
 			}
 			continue
 		}
+		if s.velocity == nil {
+			// Lazy init so &SGD{LR: l, Momentum: m} literals work without
+			// going through NewSGD.
+			s.velocity = make(map[*Param]*mat.Matrix)
+		}
 		v, ok := s.velocity[p]
 		if !ok {
 			v = mat.New(p.W.Rows(), p.W.Cols())
@@ -57,18 +64,20 @@ func (s *SGD) Step(params []*Param) error {
 // Adam implements the Adam optimizer (Kingma & Ba) with bias correction,
 // matching the paper's training setup (default learning rate 0.001).
 // A non-zero WeightDecay applies decoupled decay (AdamW).
+//
+// The first and second moments live in two flat backing arrays shared by
+// all parameters (one contiguous slice per parameter, assigned on first
+// sight), so a step walks two dense buffers instead of chasing per-param
+// heap objects. The zero value (or a struct literal) is ready to use.
 type Adam struct {
 	LR, Beta1, Beta2, Eps float64
 	// WeightDecay is the decoupled L2 decay coefficient per step (AdamW);
 	// zero disables.
 	WeightDecay float64
 
-	t     int
-	state map[*Param]*adamState
-}
-
-type adamState struct {
-	m, v *mat.Matrix
+	t       int
+	offsets map[*Param]int
+	m, v    []float64
 }
 
 var _ Optimizer = (*Adam)(nil)
@@ -76,7 +85,23 @@ var _ Optimizer = (*Adam)(nil)
 // NewAdam constructs an Adam optimizer with the standard hyperparameters
 // (β1=0.9, β2=0.999, ε=1e-8).
 func NewAdam(lr float64) *Adam {
-	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, state: make(map[*Param]*adamState)}
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// stateFor returns the flat-moment slices for p, growing the backing arrays
+// when p is seen for the first time.
+func (a *Adam) stateFor(p *Param, n int) (m, v []float64) {
+	if a.offsets == nil {
+		a.offsets = make(map[*Param]int)
+	}
+	off, ok := a.offsets[p]
+	if !ok {
+		off = len(a.m)
+		a.offsets[p] = off
+		a.m = append(a.m, make([]float64, n)...)
+		a.v = append(a.v, make([]float64, n)...)
+	}
+	return a.m[off : off+n], a.v[off : off+n]
 }
 
 // Step implements Optimizer.
@@ -85,27 +110,23 @@ func (a *Adam) Step(params []*Param) error {
 	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
 	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
 	for _, p := range params {
-		st, ok := a.state[p]
-		if !ok {
-			st = &adamState{
-				m: mat.New(p.W.Rows(), p.W.Cols()),
-				v: mat.New(p.W.Rows(), p.W.Cols()),
-			}
-			a.state[p] = st
-		}
 		w, g := p.W.Data(), p.G.Data()
-		m, v := st.m.Data(), st.v.Data()
 		if len(g) != len(w) {
 			return fmt.Errorf("nn: adam step %q: grad/weight length mismatch", p.Name)
 		}
+		m, v := a.stateFor(p, len(w))
 		for i, gi := range g {
 			m[i] = a.Beta1*m[i] + (1-a.Beta1)*gi
 			v[i] = a.Beta2*v[i] + (1-a.Beta2)*gi*gi
 			mHat := m[i] / bc1
 			vHat := v[i] / bc2
+			wPre := w[i]
 			w[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
 			if a.WeightDecay > 0 {
-				w[i] -= a.LR * a.WeightDecay * w[i]
+				// Decoupled decay per Loshchilov & Hutter: θ ← θ − lr·λ·θ
+				// computed from the PRE-step weight, so the decay direction
+				// is independent of this step's Adam update.
+				w[i] -= a.LR * a.WeightDecay * wPre
 			}
 		}
 	}
