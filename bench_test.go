@@ -539,6 +539,39 @@ func BenchmarkAblationPGDvsFGSM(b *testing.B) {
 	}
 }
 
+// benchRunCampaign measures cold campaign generation (simulate + window +
+// label) at a fixed worker count. Output is byte-identical at every setting
+// (dataset.TestCampaignParallelByteIdentical), so serial vs parallel8 is a
+// pure wall-clock comparison; BenchmarkRunCampaign/serial is the benchmark
+// the CI regression gate tracks against BENCH_BASELINE.json.
+func benchRunCampaign(b *testing.B, workers int) {
+	b.Helper()
+	cfg := dataset.CampaignConfig{
+		Simulator:          dataset.Glucosym,
+		Profiles:           8,
+		EpisodesPerProfile: 4,
+		Steps:              200,
+		Seed:               11,
+		Workers:            workers,
+	}
+	sweep.SetBudget(workers)
+	defer sweep.SetBudget(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dataset.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunCampaign compares serial and 8-way parallel generation of a
+// 32-episode campaign (the last cold-run stage to parallelize; on an
+// N-core machine the episodes fan out across real cores).
+func BenchmarkRunCampaign(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchRunCampaign(b, 1) })
+	b.Run("parallel8", func(b *testing.B) { benchRunCampaign(b, 8) })
+}
+
 // benchTrainMonitor measures monitor training throughput at a fixed worker
 // count. Workers drives the minibatch pipeline + block-parallel
 // forward/backward; the budget is pinned to the same value so the fan-out

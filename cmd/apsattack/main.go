@@ -35,6 +35,7 @@ import (
 	"repro/internal/mat"
 	"repro/internal/metrics"
 	"repro/internal/monitor"
+	"repro/internal/sim"
 	"repro/internal/sweep"
 )
 
@@ -50,6 +51,7 @@ func run() error {
 	arch := flag.String("arch", "mlp", "architecture: mlp or lstm")
 	semantic := flag.Bool("semantic", false, "train the monitor with the semantic loss")
 	kind := flag.String("attack", "fgsm", "attack: gaussian, fgsm, pgd, or blackbox")
+	scenarios := flag.String("scenarios", "", "campaign scenario mix, e.g. 'nominal:1,random_fault:1,sensor_drift:0.5'")
 	level := flag.Float64("level", 0.1, "σ (gaussian) or ε (fgsm/pgd/blackbox)")
 	epochs := flag.Int("epochs", 15, "training epochs")
 	seed := flag.Int64("seed", 1, "seed")
@@ -84,7 +86,13 @@ func run() error {
 
 	camp := dataset.CampaignConfig{
 		Simulator: simu, Profiles: 10, EpisodesPerProfile: 4, Steps: 150, Seed: *seed,
+		Workers: *parallel,
 	}
+	mix, err := sim.ParseScenarioMixFlag(*scenarios)
+	if err != nil {
+		return err
+	}
+	camp.Scenarios = mix
 	const trainFrac = 0.75
 	ds, _, err := experiments.CachedCampaign(store, camp)
 	if err != nil {

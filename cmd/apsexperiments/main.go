@@ -4,7 +4,12 @@
 //
 //	apsexperiments [-exp table3|fig1b|fig2|...|all] [-scale bench|default|paper]
 //	               [-profiles N] [-episodes N] [-steps N] [-epochs N] [-seed N]
-//	               [-parallel N] [-cache DIR] [-no-cache]
+//	               [-scenarios MIX] [-parallel N] [-cache DIR] [-no-cache]
+//
+// -scenarios overrides the campaign scenario mix ("name[:weight],…" over the
+// sim.Scenarios registry, default "nominal:1,random_fault:1"); each
+// profile's episodes are apportioned across the named generators in weight
+// proportion, deterministically.
 //
 // -parallel sets how many goroutines the experiment sweeps and large matrix
 // products fan out to (default: all cores), and doubles as the shared worker
@@ -30,6 +35,7 @@ import (
 	"repro/internal/artifact"
 	"repro/internal/experiments"
 	"repro/internal/mat"
+	"repro/internal/sim"
 	"repro/internal/sweep"
 )
 
@@ -48,6 +54,7 @@ func run() error {
 	steps := flag.Int("steps", 0, "override: steps per episode")
 	epochs := flag.Int("epochs", 0, "override: training epochs")
 	seed := flag.Int64("seed", 0, "override: campaign/training seed")
+	scenarios := flag.String("scenarios", "", "override: campaign scenario mix, e.g. 'nominal:1,random_fault:1,sensor_drift:0.5' (see README)")
 	weight := flag.Float64("semantic-weight", 0, "override: semantic loss weight w")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for sweeps and matrix products (1 = serial)")
 	cache := artifact.AddFlags(flag.CommandLine)
@@ -90,6 +97,11 @@ func run() error {
 	if *weight > 0 {
 		cfg.SemanticWeight = *weight
 	}
+	mix, err := sim.ParseScenarioMixFlag(*scenarios)
+	if err != nil {
+		return err
+	}
+	cfg.Scenarios = mix
 
 	fmt.Printf("generating campaigns (%s, parallel=%d)...\n", cfg, *parallel)
 	t0 := time.Now()

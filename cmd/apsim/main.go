@@ -1,14 +1,29 @@
-// Command apsim runs a single closed-loop APS episode and prints the trace
-// as a table or CSV (the raw material behind Fig. 1(b)).
+// Command apsim runs closed-loop APS simulation: a single annotated episode
+// (the raw material behind Fig. 1(b)) or, with -campaign, a whole labeled
+// campaign serialized as JSON.
 //
 // Usage:
 //
-//	apsim [-sim glucosym|t1ds] [-profile N] [-steps N] [-seed N] [-fault] [-csv]
+//	apsim [-sim glucosym|t1ds] [-profile N] [-steps N] [-seed N]
+//	      [-scenario NAME] [-fault] [-csv]
 //	      [-cache DIR] [-no-cache]
 //
+//	apsim -campaign [-sim glucosym|t1ds] [-profiles N] [-episodes N]
+//	      [-steps N] [-seed N] [-scenarios MIX] [-parallel N] [-out FILE]
+//
+// Single-episode mode: -scenario applies one named generator from the
+// sim.Scenarios registry (nominal, overdose, underdose, suspend, stuck,
+// max_rate, random_fault, sensor_dropout, sensor_drift, missed_meal,
+// irregular_meals, compound); -fault is the legacy alias for
+// -scenario random_fault.
+//
+// Campaign mode: -scenarios declares the campaign mix ("name[:weight],…");
+// episodes fan out across -parallel goroutines and the serialized campaign
+// bytes are identical at every -parallel setting (the CI determinism smoke
+// diffs -parallel 1 against -parallel 8).
+//
 // -cache/-no-cache are accepted for uniformity with the rest of the
-// toolchain; a single episode simulates in milliseconds, so apsim has no
-// cacheable artifacts and the store is never written.
+// toolchain; apsim always simulates.
 package main
 
 import (
@@ -17,7 +32,10 @@ import (
 	"os"
 
 	"repro/internal/artifact"
+	"repro/internal/dataset"
+	"repro/internal/mat"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -31,24 +49,87 @@ func run() error {
 	simName := flag.String("sim", "glucosym", "simulator: glucosym or t1ds")
 	profile := flag.Int("profile", 0, "patient profile id (0-19)")
 	steps := flag.Int("steps", 200, "episode length in 5-minute steps")
-	seed := flag.Int64("seed", 1, "episode seed")
-	fault := flag.Bool("fault", false, "inject a random pump fault")
+	seed := flag.Int64("seed", 1, "episode/campaign seed")
+	scenario := flag.String("scenario", "", "episode scenario name (see sim.Scenarios; default nominal)")
+	fault := flag.Bool("fault", false, "legacy alias for -scenario random_fault")
 	csv := flag.Bool("csv", false, "emit CSV instead of a table")
-	_ = artifact.AddFlags(flag.CommandLine) // uniform flags; no cacheable artifacts here
+	campaign := flag.Bool("campaign", false, "generate a labeled campaign instead of one episode")
+	profiles := flag.Int("profiles", 4, "campaign: patient profiles")
+	episodes := flag.Int("episodes", 2, "campaign: episodes per profile")
+	scenarios := flag.String("scenarios", "", "campaign: scenario mix, e.g. 'nominal:1,random_fault:1,sensor_drift:0.5'")
+	parallel := flag.Int("parallel", 0, "campaign: worker goroutines (0 = all cores, 1 = serial)")
+	out := flag.String("out", "", "campaign: write the serialized dataset here (default stdout)")
+	_ = artifact.AddFlags(flag.CommandLine) // uniform flags; apsim always simulates
 	flag.Parse()
 
-	ec := sim.EpisodeConfig{ProfileID: *profile, Seed: *seed, Faulty: *fault}
+	var simu dataset.Simulator
+	switch *simName {
+	case "glucosym":
+		simu = dataset.Glucosym
+	case "t1ds":
+		simu = dataset.T1DS
+	default:
+		return fmt.Errorf("unknown simulator %q", *simName)
+	}
+	if *campaign {
+		return runCampaign(simu, *profiles, *episodes, *steps, *seed, *scenarios, *parallel, *out)
+	}
+	return runEpisode(simu, *profile, *steps, *seed, *scenario, *fault, *csv)
+}
+
+func runCampaign(simu dataset.Simulator, profiles, episodes, steps int, seed int64, scenarios string, parallel int, out string) error {
+	if parallel < 0 {
+		return fmt.Errorf("-parallel %d, want >= 0", parallel)
+	}
+	if parallel > 0 {
+		mat.SetParallelism(parallel)
+		sweep.SetBudget(parallel)
+	}
+	cfg := dataset.CampaignConfig{
+		Simulator:          simu,
+		Profiles:           profiles,
+		EpisodesPerProfile: episodes,
+		Steps:              steps,
+		Seed:               seed,
+		Workers:            parallel,
+	}
+	mix, err := sim.ParseScenarioMixFlag(scenarios)
+	if err != nil {
+		return err
+	}
+	cfg.Scenarios = mix
+	ds, err := dataset.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := ds.Save(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "apsim: campaign %v: %d episodes, %d samples (%.1f%% unsafe)\n",
+		simu, len(ds.EpisodeIndex), ds.Len(), 100*ds.UnsafeFraction())
+	return nil
+}
+
+func runEpisode(simu dataset.Simulator, profile, steps int, seed int64, scenario string, fault, csv bool) error {
+	ec := sim.EpisodeConfig{ProfileID: profile, Seed: seed, Scenario: scenario, Faulty: fault}
 	var (
 		cfg sim.Config
 		err error
 	)
-	switch *simName {
-	case "glucosym":
-		cfg, err = sim.BuildGlucosymEpisode(ec, *steps)
-	case "t1ds":
-		cfg, err = sim.BuildT1DSEpisode(ec, *steps)
-	default:
-		return fmt.Errorf("unknown simulator %q", *simName)
+	switch simu {
+	case dataset.Glucosym:
+		cfg, err = sim.BuildGlucosymEpisode(ec, steps)
+	case dataset.T1DS:
+		cfg, err = sim.BuildT1DSEpisode(ec, steps)
 	}
 	if err != nil {
 		return err
@@ -58,11 +139,12 @@ func run() error {
 		return err
 	}
 
+	fmt.Printf("# scenario: %s\n", cfg.Scenario)
 	if cfg.Fault != nil {
 		fmt.Printf("# fault: %s start=%d duration=%d magnitude=%.2f\n",
 			cfg.Fault.Type, cfg.Fault.StartStep, cfg.Fault.Duration, cfg.Fault.Magnitude)
 	}
-	if *csv {
+	if csv {
 		fmt.Println("step,time_min,true_bg,cgm,iob,rate,commanded,action,fault,hazard")
 		for _, r := range tr.Records {
 			fmt.Printf("%d,%.0f,%.2f,%.2f,%.3f,%.3f,%.3f,%s,%v,%v\n",

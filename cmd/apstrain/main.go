@@ -32,6 +32,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/mat"
 	"repro/internal/monitor"
+	"repro/internal/sim"
 	"repro/internal/sweep"
 )
 
@@ -51,6 +52,7 @@ func run() error {
 	profiles := flag.Int("profiles", 10, "patient profiles")
 	episodes := flag.Int("episodes", 4, "episodes per profile")
 	steps := flag.Int("steps", 150, "steps per episode")
+	scenarios := flag.String("scenarios", "", "campaign scenario mix, e.g. 'nominal:1,random_fault:1,sensor_drift:0.5'")
 	seed := flag.Int64("seed", 1, "seed")
 	out := flag.String("out", "", "write the trained model JSON here")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for training and matrix products (1 = serial)")
@@ -88,7 +90,13 @@ func run() error {
 		EpisodesPerProfile: *episodes,
 		Steps:              *steps,
 		Seed:               *seed,
+		Workers:            *parallel,
 	}
+	mix, err := sim.ParseScenarioMixFlag(*scenarios)
+	if err != nil {
+		return err
+	}
+	camp.Scenarios = mix
 	const trainFrac = 0.75
 	ds, hit, err := experiments.CachedCampaign(store, camp)
 	if err != nil {

@@ -1,0 +1,253 @@
+// Command benchgate turns `go test -bench` output into a stable JSON
+// summary and gates CI on benchmark regressions against a committed
+// baseline.
+//
+// Usage:
+//
+//	go test -run xxx -bench '...' -benchmem -count 5 ./... > bench.txt
+//	benchgate -input bench.txt -out BENCH_$SHA.json \
+//	          -baseline BENCH_BASELINE.json -gate '^BenchmarkRunCampaign/' \
+//	          -max-regress 0.20
+//
+// The summary records, per benchmark, the minimum of every metric across
+// the -count repetitions (the minimum is the least noise-sensitive central
+// value for timing benchmarks). Benchmark names are normalized by
+// stripping the -GOMAXPROCS suffix so baselines compare across machines
+// with different core counts.
+//
+// With -baseline, every baseline benchmark whose name matches -gate must
+// be present in the current run and its ns/op must not exceed the baseline
+// by more than -max-regress (fractional, default 0.20); otherwise benchgate
+// exits non-zero listing the regressions. Without -baseline (or with an
+// empty -gate) it only emits the summary.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Bench is the aggregated result of one benchmark across repetitions.
+type Bench struct {
+	Runs int `json:"runs"`
+	// Metrics maps unit → minimum value across runs (ns/op, B/op,
+	// allocs/op, plus any b.ReportMetric units).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Summary is the BENCH_<sha>.json schema.
+type Summary struct {
+	Schema     int              `json:"schema"`
+	Commit     string           `json:"commit,omitempty"`
+	Benchmarks map[string]Bench `json:"benchmarks"`
+}
+
+// gomaxprocsSuffix matches the trailing -N processor-count suffix of a
+// benchmark name (on the name or its first sub-benchmark segment).
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// normalizeName strips the GOMAXPROCS suffix from the (possibly
+// sub-benchmarked) benchmark name.
+func normalizeName(name string) string {
+	segs := strings.Split(name, "/")
+	segs[0] = gomaxprocsSuffix.ReplaceAllString(segs[0], "")
+	if len(segs) > 1 {
+		last := len(segs) - 1
+		segs[last] = gomaxprocsSuffix.ReplaceAllString(segs[last], "")
+	}
+	return strings.Join(segs, "/")
+}
+
+// better reports whether v beats prev for the unit: cost units (ns/op,
+// B/op, allocs/op and other per-op measures) keep their minimum across
+// repetitions, throughput units (MB/s) their maximum — so every recorded
+// metric is the least noise-degraded repetition.
+func better(unit string, v, prev float64) bool {
+	if strings.HasSuffix(unit, "/s") {
+		return v > prev
+	}
+	return v < prev
+}
+
+// parseBenchOutput reads `go test -bench` text and aggregates repeated
+// benchmark lines: cost metrics by minimum, throughput metrics by maximum.
+func parseBenchOutput(r io.Reader) (map[string]Bench, error) {
+	out := make(map[string]Bench)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// name, iterations, then value/unit pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue // e.g. "BenchmarkFoo ... --- FAIL" noise
+		}
+		name := normalizeName(fields[0])
+		b, ok := out[name]
+		if !ok {
+			b = Bench{Metrics: make(map[string]float64)}
+		}
+		b.Runs++
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			unit := fields[i+1]
+			prev, seen := b.Metrics[unit]
+			if !seen || better(unit, v, prev) {
+				b.Metrics[unit] = v
+			}
+		}
+		out[name] = b
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// regression describes one gated benchmark exceeding the allowance.
+type regression struct {
+	name           string
+	base, cur      float64
+	ratio, allowed float64
+	missing        bool
+}
+
+// gate compares current against baseline for every baseline benchmark
+// matching pattern, on the ns/op metric.
+func gate(baseline, current map[string]Bench, pattern *regexp.Regexp, maxRegress float64) []regression {
+	var regs []regression
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if !pattern.MatchString(name) {
+			continue
+		}
+		base, ok := baseline[name].Metrics["ns/op"]
+		if !ok || base <= 0 {
+			continue
+		}
+		cur, ok := current[name]
+		if !ok {
+			regs = append(regs, regression{name: name, missing: true})
+			continue
+		}
+		curNs, ok := cur.Metrics["ns/op"]
+		if !ok {
+			regs = append(regs, regression{name: name, missing: true})
+			continue
+		}
+		ratio := curNs / base
+		if ratio > 1+maxRegress {
+			regs = append(regs, regression{name: name, base: base, cur: curNs, ratio: ratio, allowed: 1 + maxRegress})
+		}
+	}
+	return regs
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	input := flag.String("input", "", "benchmark output file (default stdin)")
+	out := flag.String("out", "", "write the JSON summary here (default stdout)")
+	baselinePath := flag.String("baseline", "", "baseline JSON to gate against (omit to only emit the summary)")
+	gateExpr := flag.String("gate", "", "regexp of benchmark names to gate (omit to only emit the summary)")
+	maxRegress := flag.Float64("max-regress", 0.20, "maximum allowed fractional ns/op regression over the baseline")
+	commit := flag.String("commit", os.Getenv("GITHUB_SHA"), "commit hash recorded in the summary")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *input != "" {
+		f, err := os.Open(*input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	benches, err := parseBenchOutput(r)
+	if err != nil {
+		return err
+	}
+	if len(benches) == 0 {
+		return fmt.Errorf("no benchmark lines in input")
+	}
+
+	summary := Summary{Schema: 1, Commit: *commit, Benchmarks: benches}
+	enc, err := json.MarshalIndent(summary, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "benchgate: %d benchmarks summarized to %s\n", len(benches), *out)
+	} else {
+		os.Stdout.Write(enc)
+	}
+
+	if *baselinePath == "" || *gateExpr == "" {
+		return nil
+	}
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var baseline Summary
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		return fmt.Errorf("parse baseline: %w", err)
+	}
+	pattern, err := regexp.Compile(*gateExpr)
+	if err != nil {
+		return fmt.Errorf("bad -gate: %w", err)
+	}
+	regs := gate(baseline.Benchmarks, benches, pattern, *maxRegress)
+	gated := 0
+	for name := range baseline.Benchmarks {
+		if pattern.MatchString(name) {
+			gated++
+		}
+	}
+	if gated == 0 {
+		return fmt.Errorf("gate %q matches no baseline benchmark", *gateExpr)
+	}
+	if len(regs) == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d gated benchmark(s) within %.0f%% of baseline\n", gated, 100**maxRegress)
+		return nil
+	}
+	for _, g := range regs {
+		if g.missing {
+			fmt.Fprintf(os.Stderr, "benchgate: REGRESSION %s: present in baseline but missing from this run\n", g.name)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "benchgate: REGRESSION %s: %.0f ns/op vs baseline %.0f (%.2fx > %.2fx allowed)\n",
+			g.name, g.cur, g.base, g.ratio, g.allowed)
+	}
+	return fmt.Errorf("%d benchmark regression(s) beyond %.0f%%", len(regs), 100**maxRegress)
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkRunCampaign/serial-8         	       2	 500000000 ns/op	 1000000 B/op	    5000 allocs/op
+BenchmarkRunCampaign/serial-8         	       2	 480000000 ns/op	 1100000 B/op	    5100 allocs/op
+BenchmarkRunCampaign/parallel8-8      	       5	 100000000 ns/op	 1200000 B/op	    6000 allocs/op
+BenchmarkTrainMLP/serial-8            	       3	 200000000 ns/op	  500000 B/op	     700 allocs/op
+BenchmarkMatMul/serial/n=64-8         	      20	    100000 ns/op	  50.00 MB/s
+BenchmarkMatMul/serial/n=64-8         	      20	    120000 ns/op	  40.00 MB/s
+BenchmarkTable3-8                     	       1	 900000000 ns/op	       0.95 mlp-glucosym-F1
+PASS
+ok  	repro	12.3s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	benches, err := parseBenchOutput(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GOMAXPROCS suffixes are stripped, repetitions aggregate by minimum.
+	serial, ok := benches["BenchmarkRunCampaign/serial"]
+	if !ok {
+		t.Fatalf("missing normalized serial benchmark; have %v", benches)
+	}
+	if serial.Runs != 2 {
+		t.Fatalf("serial runs = %d, want 2", serial.Runs)
+	}
+	if serial.Metrics["ns/op"] != 480000000 {
+		t.Fatalf("serial ns/op = %v, want min 480000000", serial.Metrics["ns/op"])
+	}
+	if serial.Metrics["B/op"] != 1000000 {
+		t.Fatalf("serial B/op = %v, want min 1000000", serial.Metrics["B/op"])
+	}
+	// Custom ReportMetric units ride along.
+	if benches["BenchmarkTable3"].Metrics["mlp-glucosym-F1"] != 0.95 {
+		t.Fatalf("custom metric lost: %v", benches["BenchmarkTable3"].Metrics)
+	}
+	// Cost units aggregate by min, throughput units by max — both keep the
+	// least noise-degraded repetition.
+	mm := benches["BenchmarkMatMul/serial/n=64"]
+	if mm.Metrics["ns/op"] != 100000 || mm.Metrics["MB/s"] != 50 {
+		t.Fatalf("matmul aggregation = %v, want min ns/op 100000 and max MB/s 50", mm.Metrics)
+	}
+}
+
+func TestNormalizeName(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkRunCampaign/serial-8":  "BenchmarkRunCampaign/serial",
+		"BenchmarkRunCampaign-16":        "BenchmarkRunCampaign",
+		"BenchmarkTrainMLP/parallel8-4":  "BenchmarkTrainMLP/parallel8",
+		"BenchmarkFoo/sub-case/deeper-2": "BenchmarkFoo/sub-case/deeper",
+	}
+	for in, want := range cases {
+		if got := normalizeName(in); got != want {
+			t.Errorf("normalizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestGate(t *testing.T) {
+	baseline := map[string]Bench{
+		"BenchmarkRunCampaign/serial":    {Runs: 5, Metrics: map[string]float64{"ns/op": 100}},
+		"BenchmarkRunCampaign/parallel8": {Runs: 5, Metrics: map[string]float64{"ns/op": 50}},
+		"BenchmarkTrainMLP/serial":       {Runs: 5, Metrics: map[string]float64{"ns/op": 10}},
+	}
+	pat := regexp.MustCompile(`^BenchmarkRunCampaign/`)
+
+	// Within the allowance (and ungated benchmarks regress freely).
+	current := map[string]Bench{
+		"BenchmarkRunCampaign/serial":    {Runs: 5, Metrics: map[string]float64{"ns/op": 115}},
+		"BenchmarkRunCampaign/parallel8": {Runs: 5, Metrics: map[string]float64{"ns/op": 40}},
+		"BenchmarkTrainMLP/serial":       {Runs: 5, Metrics: map[string]float64{"ns/op": 900}},
+	}
+	if regs := gate(baseline, current, pat, 0.20); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %+v", regs)
+	}
+
+	// Beyond the allowance.
+	current["BenchmarkRunCampaign/parallel8"] = Bench{Runs: 5, Metrics: map[string]float64{"ns/op": 61}}
+	regs := gate(baseline, current, pat, 0.20)
+	if len(regs) != 1 || regs[0].name != "BenchmarkRunCampaign/parallel8" {
+		t.Fatalf("regressions = %+v, want the parallel8 one", regs)
+	}
+
+	// A gated baseline benchmark missing from the run is a failure too.
+	delete(current, "BenchmarkRunCampaign/serial")
+	regs = gate(baseline, current, pat, 0.20)
+	found := false
+	for _, r := range regs {
+		if r.name == "BenchmarkRunCampaign/serial" && r.missing {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing gated benchmark not reported: %+v", regs)
+	}
+}

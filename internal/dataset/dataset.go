@@ -75,6 +75,9 @@ type Dataset struct {
 	Samples   []Sample
 	// EpisodeIndex[i] is the [from, to) sample range of episode i.
 	EpisodeIndex [][2]int
+	// Scenarios[i] names the scenario generator that produced episode i
+	// (provenance; empty entries mean the trace was hand-built).
+	Scenarios []string `json:",omitempty"`
 
 	// Normalization statistics (per feature column, computed on this set or
 	// inherited from the training set).
@@ -242,7 +245,65 @@ func SampleFromWindow(records []sim.Record, stepMin float64) (Sample, error) {
 	}, nil
 }
 
-// FromTraces slices labeled samples out of episode traces.
+// traceWindower slices one episode trace into labeled samples — the
+// streaming consumer of campaign generation. It is stateless after
+// construction (the compiled STL rules are shared), so distinct traces can
+// be windowed concurrently by the episode workers.
+type traceWindower struct {
+	window, horizon int
+	rules           []stl.Rule
+}
+
+func newTraceWindower(window, horizon int, bgTarget float64) *traceWindower {
+	return &traceWindower{window: window, horizon: horizon, rules: stl.APSRules(bgTarget)}
+}
+
+// window labels every sliding window of the trace, tagging samples with
+// episode epID.
+func (w *traceWindower) windowTrace(tr *sim.Trace, epID int) ([]Sample, error) {
+	recs := tr.Records
+	var samples []Sample
+	if n := len(recs) - w.window + 1; n > 0 {
+		samples = make([]Sample, 0, n)
+	}
+	for t := w.window - 1; t < len(recs); t++ {
+		mlp, seq, bg, dbg, diob := windowFeatures(recs, t, w.window, tr.StepMin)
+		label := 0
+		for h := t; h <= t+w.horizon && h < len(recs); h++ {
+			if recs[h].Hazard {
+				label = 1
+				break
+			}
+		}
+		action := recs[t].Action
+		unsafe, _, err := stl.EvalRules(w.rules, stl.ContextTrace(bg, dbg, diob, action), 0)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: episode %d step %d: %w", epID, t, err)
+		}
+		know := 0.0
+		if unsafe {
+			know = 1
+		}
+		samples = append(samples, Sample{
+			MLP:       mlp,
+			Seq:       seq,
+			Label:     label,
+			Knowledge: know,
+			BG:        bg,
+			DeltaBG:   dbg,
+			DeltaIOB:  diob,
+			Action:    action,
+			EpisodeID: epID,
+			Step:      t,
+			HazardNow: recs[t].Hazard,
+		})
+	}
+	return samples, nil
+}
+
+// FromTraces slices labeled samples out of already-materialized episode
+// traces (Generate fuses the same windowing into the episode workers
+// instead, so a campaign never buffers all traces).
 func FromTraces(traces []*sim.Trace, window, horizon int, bgTarget float64) (*Dataset, error) {
 	if window < 2 {
 		return nil, fmt.Errorf("dataset: window %d, want ≥ 2", window)
@@ -253,49 +314,29 @@ func FromTraces(traces []*sim.Trace, window, horizon int, bgTarget float64) (*Da
 	if len(traces) == 0 {
 		return nil, fmt.Errorf("dataset: no traces")
 	}
-	rules := stl.APSRules(bgTarget)
+	w := newTraceWindower(window, horizon, bgTarget)
 	ds := &Dataset{
 		Simulator: traces[0].Simulator,
 		Window:    window,
 		Horizon:   horizon,
 		BGTarget:  bgTarget,
 	}
+	anyScenario := false
 	for epID, tr := range traces {
-		from := len(ds.Samples)
-		recs := tr.Records
-		for t := window - 1; t < len(recs); t++ {
-			mlp, seq, bg, dbg, diob := windowFeatures(recs, t, window, tr.StepMin)
-			label := 0
-			for h := t; h <= t+horizon && h < len(recs); h++ {
-				if recs[h].Hazard {
-					label = 1
-					break
-				}
-			}
-			action := recs[t].Action
-			unsafe, _, err := stl.EvalRules(rules, stl.ContextTrace(bg, dbg, diob, action), 0)
-			if err != nil {
-				return nil, fmt.Errorf("dataset: episode %d step %d: %w", epID, t, err)
-			}
-			know := 0.0
-			if unsafe {
-				know = 1
-			}
-			ds.Samples = append(ds.Samples, Sample{
-				MLP:       mlp,
-				Seq:       seq,
-				Label:     label,
-				Knowledge: know,
-				BG:        bg,
-				DeltaBG:   dbg,
-				DeltaIOB:  diob,
-				Action:    action,
-				EpisodeID: epID,
-				Step:      t,
-				HazardNow: recs[t].Hazard,
-			})
+		samples, err := w.windowTrace(tr, epID)
+		if err != nil {
+			return nil, err
 		}
+		from := len(ds.Samples)
+		ds.Samples = append(ds.Samples, samples...)
 		ds.EpisodeIndex = append(ds.EpisodeIndex, [2]int{from, len(ds.Samples)})
+		ds.Scenarios = append(ds.Scenarios, tr.Scenario)
+		if tr.Scenario != "" {
+			anyScenario = true
+		}
+	}
+	if !anyScenario {
+		ds.Scenarios = nil // hand-built traces: keep the legacy encoding
 	}
 	return ds, nil
 }
@@ -331,6 +372,9 @@ func (d *Dataset) Split(trainFrac float64) (train, test *Dataset, err error) {
 			from := len(out.Samples)
 			out.Samples = append(out.Samples, d.Samples[r[0]:r[1]]...)
 			out.EpisodeIndex = append(out.EpisodeIndex, [2]int{from, len(out.Samples)})
+			if len(d.Scenarios) == len(d.EpisodeIndex) {
+				out.Scenarios = append(out.Scenarios, d.Scenarios[ep])
+			}
 		}
 		return out
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 // Simulator selects which closed-loop case study a campaign runs.
@@ -35,8 +36,8 @@ type CampaignConfig struct {
 	Simulator Simulator
 	// Profiles is the number of patient profiles to simulate (≤ 20).
 	Profiles int
-	// EpisodesPerProfile is the number of episodes per profile; half of them
-	// (rounded up) receive an injected fault.
+	// EpisodesPerProfile is the number of episodes per profile; the
+	// Scenarios mix apportions them across scenario generators.
 	EpisodesPerProfile int
 	// Steps is the episode length in 5-minute control steps.
 	Steps int
@@ -50,6 +51,17 @@ type CampaignConfig struct {
 	BGTarget float64
 	// Seed makes the campaign reproducible.
 	Seed int64
+	// Scenarios is the per-campaign scenario mix; each profile's episodes
+	// are apportioned across the named generators in proportion to the
+	// weights (deterministically, no sampling). Empty selects
+	// sim.DefaultScenarioMix — equal parts nominal and random_fault, the
+	// paper's half-faulty campaign shape.
+	Scenarios sim.ScenarioMix
+	// Workers caps how many goroutines episodes fan out to (0 = all cores,
+	// 1 = serial; additionally clamped by the shared sweep budget). Output
+	// is byte-identical at every setting, so Workers never enters the
+	// campaign fingerprint.
+	Workers int
 }
 
 func (c *CampaignConfig) fill() {
@@ -71,52 +83,137 @@ func (c *CampaignConfig) fill() {
 	if c.BGTarget == 0 {
 		c.BGTarget = 140
 	}
+	if len(c.Scenarios) == 0 {
+		c.Scenarios = sim.DefaultScenarioMix()
+	}
 }
 
-// Generate runs the campaign and assembles the labeled dataset.
+// validate checks the filled config against the scenario registry and the
+// windowing bounds (fill only defaults zero values, so negatives reach
+// here).
+func (c *CampaignConfig) validate() error {
+	if c.Simulator != Glucosym && c.Simulator != T1DS {
+		return fmt.Errorf("dataset: unknown simulator %d", int(c.Simulator))
+	}
+	if c.Window < 2 {
+		return fmt.Errorf("dataset: window %d, want ≥ 2", c.Window)
+	}
+	if c.Horizon < 1 {
+		return fmt.Errorf("dataset: horizon %d, want ≥ 1", c.Horizon)
+	}
+	if c.Profiles < 1 || c.EpisodesPerProfile < 1 || c.Steps < 1 {
+		return fmt.Errorf("dataset: campaign needs ≥ 1 profile, episode and step (got %d/%d/%d)",
+			c.Profiles, c.EpisodesPerProfile, c.Steps)
+	}
+	if err := c.Scenarios.Validate(nil); err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	return nil
+}
+
+// EpisodeSeed derives the RNG seed of episode index (row-major over
+// profiles × episodes) with the sweep package's splitmix64 mixer: a pure
+// function of (campaign seed, episode index), injective in the index, so no
+// two episodes of a campaign ever share a seed at any campaign size. (The
+// previous affine formula Seed + prof·1000003 + ep·7907 collides across
+// (prof, ep) pairs once episode counts reach the coefficient scale — see
+// TestEpisodeSeedCollisionFree.)
+func (c CampaignConfig) EpisodeSeed(index int) int64 {
+	return sweep.CellSeed(c.Seed, index)
+}
+
+// buildEpisode constructs the sim.Config of one campaign episode.
+func (c CampaignConfig) buildEpisode(scenario string, index int) (sim.Config, error) {
+	ec := sim.EpisodeConfig{
+		ProfileID: index / c.EpisodesPerProfile,
+		Seed:      c.EpisodeSeed(index),
+		Scenario:  scenario,
+	}
+	switch c.Simulator {
+	case Glucosym:
+		return sim.BuildGlucosymEpisode(ec, c.Steps)
+	case T1DS:
+		return sim.BuildT1DSEpisode(ec, c.Steps)
+	default:
+		return sim.Config{}, fmt.Errorf("unknown simulator %d", int(c.Simulator))
+	}
+}
+
+// runEpisodes fans the campaign's episodes out across the worker pool and
+// hands each completed trace to consume on the worker goroutine (so the
+// per-episode products stream out of the pipeline instead of buffering all
+// traces first). consume must be safe for concurrent calls on distinct
+// indices; results keyed by index keep deterministic order.
+func runEpisodes[T any](cfg CampaignConfig, consume func(index int, tr *sim.Trace) (T, error)) ([]T, error) {
+	assign := cfg.Scenarios.Assign(cfg.EpisodesPerProfile)
+	n := cfg.Profiles * cfg.EpisodesPerProfile
+	return sweep.Map(cfg.Workers, n, func(i int) (T, error) {
+		var zero T
+		prof, ep := i/cfg.EpisodesPerProfile, i%cfg.EpisodesPerProfile
+		scen := cfg.Scenarios[assign[ep]].Name
+		scfg, err := cfg.buildEpisode(scen, i)
+		if err != nil {
+			return zero, fmt.Errorf("dataset: build episode (profile %d, ep %d, scenario %s): %w", prof, ep, scen, err)
+		}
+		tr, err := sim.Run(scfg)
+		if err != nil {
+			return zero, fmt.Errorf("dataset: run episode (profile %d, ep %d, scenario %s): %w", prof, ep, scen, err)
+		}
+		return consume(i, tr)
+	})
+}
+
+// Generate runs the campaign and assembles the labeled dataset. Episodes
+// fan out across CampaignConfig.Workers goroutines (bounded by the shared
+// sweep budget) and each trace is windowed into samples as it completes, on
+// the worker that produced it — the trace records are dropped immediately,
+// so peak memory holds samples plus in-flight traces, never the whole
+// campaign's raw records. Sample values and order are identical to
+// FromTraces(RunCampaign(cfg)) at every worker count.
 func Generate(cfg CampaignConfig) (*Dataset, error) {
 	cfg.fill()
-	if cfg.Simulator != Glucosym && cfg.Simulator != T1DS {
-		return nil, fmt.Errorf("dataset: unknown simulator %d", int(cfg.Simulator))
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
-	traces, err := RunCampaign(cfg)
+	w := newTraceWindower(cfg.Window, cfg.Horizon, cfg.BGTarget)
+	type episode struct {
+		samples  []Sample
+		scenario string
+	}
+	episodes, err := runEpisodes(cfg, func(i int, tr *sim.Trace) (episode, error) {
+		samples, err := w.windowTrace(tr, i)
+		if err != nil {
+			return episode{}, err
+		}
+		return episode{samples: samples, scenario: tr.Scenario}, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	return FromTraces(traces, cfg.Window, cfg.Horizon, cfg.BGTarget)
+	ds := &Dataset{
+		Simulator: cfg.Simulator.String(),
+		Window:    cfg.Window,
+		Horizon:   cfg.Horizon,
+		BGTarget:  cfg.BGTarget,
+	}
+	for _, ep := range episodes {
+		from := len(ds.Samples)
+		ds.Samples = append(ds.Samples, ep.samples...)
+		ds.EpisodeIndex = append(ds.EpisodeIndex, [2]int{from, len(ds.Samples)})
+		ds.Scenarios = append(ds.Scenarios, ep.scenario)
+	}
+	return ds, nil
 }
 
-// RunCampaign executes the episodes of a campaign and returns their traces
-// (exposed separately for the example programs and trace-level experiments).
+// RunCampaign executes the episodes of a campaign in parallel and returns
+// their traces in deterministic (profile, episode) order — byte-identical
+// to a serial run at every Workers setting (exposed separately for the
+// example programs and trace-level experiments; Generate streams the traces
+// into samples without materializing all of them).
 func RunCampaign(cfg CampaignConfig) ([]*sim.Trace, error) {
 	cfg.fill()
-	var traces []*sim.Trace
-	for prof := 0; prof < cfg.Profiles; prof++ {
-		for ep := 0; ep < cfg.EpisodesPerProfile; ep++ {
-			ec := sim.EpisodeConfig{
-				ProfileID: prof,
-				Seed:      cfg.Seed + int64(prof)*1_000_003 + int64(ep)*7_907,
-				Faulty:    ep%2 == 0, // half the episodes carry a fault
-			}
-			var (
-				scfg sim.Config
-				err  error
-			)
-			switch cfg.Simulator {
-			case Glucosym:
-				scfg, err = sim.BuildGlucosymEpisode(ec, cfg.Steps)
-			case T1DS:
-				scfg, err = sim.BuildT1DSEpisode(ec, cfg.Steps)
-			}
-			if err != nil {
-				return nil, fmt.Errorf("dataset: build episode (profile %d, ep %d): %w", prof, ep, err)
-			}
-			tr, err := sim.Run(scfg)
-			if err != nil {
-				return nil, fmt.Errorf("dataset: run episode (profile %d, ep %d): %w", prof, ep, err)
-			}
-			traces = append(traces, tr)
-		}
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
-	return traces, nil
+	return runEpisodes(cfg, func(_ int, tr *sim.Trace) (*sim.Trace, error) { return tr, nil })
 }

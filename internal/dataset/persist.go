@@ -12,16 +12,21 @@ import (
 // the Dataset schema, the feature/label derivation, or the episode
 // generation changes incompatibly — cached campaigns from older versions
 // then become unreachable and are regenerated.
-const FormatVersion = 1
+//
+// v2: per-episode seeds are splitmix-derived (CampaignConfig.EpisodeSeed)
+// instead of the affine formula, episodes carry scenario provenance, and
+// the scenario mix entered the fingerprint.
+const FormatVersion = 2
 
 // Fingerprint hashes the canonicalized campaign configuration (after
 // defaults are filled, so explicit and implicit defaults collide as they
 // should). Two configs with equal fingerprints generate byte-identical
-// campaigns.
+// campaigns. Workers is deliberately excluded: output is byte-identical at
+// every worker count.
 func (c CampaignConfig) Fingerprint() uint64 {
 	c.fill()
 	return artifact.Fingerprint("campaign", c.Simulator, c.Profiles, c.EpisodesPerProfile,
-		c.Steps, c.Window, c.Horizon, c.BGTarget, c.Seed)
+		c.Steps, c.Window, c.Horizon, c.BGTarget, c.Seed, c.Scenarios.String())
 }
 
 // ArtifactKey returns the content-addressed cache key of the campaign this

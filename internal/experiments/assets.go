@@ -179,6 +179,10 @@ func Build(cfg Config) (*Assets, error) {
 			Horizon:            cfg.Horizon,
 			BGTarget:           cfg.BGTarget,
 			Seed:               cfg.Seed,
+			Scenarios:          cfg.Scenarios,
+			// Episode generation draws from the same worker budget as the
+			// sweeps; Workers never enters the campaign fingerprint.
+			Workers: Workers(),
 		}
 		ds, _, err := CachedCampaign(ActiveStore(), camp)
 		if err != nil {

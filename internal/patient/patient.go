@@ -47,6 +47,10 @@ type Meal struct {
 	StartMin    float64 // minutes from episode start
 	Grams       float64
 	DurationMin float64
+	// Unannounced marks a meal the patient eats without telling the
+	// controller — announcement-driven controllers never see its carbs
+	// (the missed-bolus scenario). Absorption is unaffected.
+	Unannounced bool
 }
 
 // MealSchedule is a set of meals within an episode.

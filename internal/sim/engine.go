@@ -61,6 +61,9 @@ type Config struct {
 	ActionTol float64
 	// Seed drives the sensor-noise RNG.
 	Seed int64
+	// Scenario is the name of the scenario generator that shaped this
+	// episode (provenance only; empty for hand-built configs).
+	Scenario string
 }
 
 // Record is one sampled step of a trace: exactly the multivariate time-series
@@ -95,7 +98,10 @@ type Trace struct {
 	ProfileID  int
 	StepMin    float64
 	Fault      *Fault
-	Records    []Record
+	// Scenario names the scenario generator that shaped the episode
+	// (empty for hand-built configs).
+	Scenario string
+	Records  []Record
 }
 
 // HazardSteps returns the indices of hazardous steps.
@@ -154,6 +160,7 @@ func Run(cfg Config) (*Trace, error) {
 		ProfileID:  cfg.Patient.ProfileID(),
 		StepMin:    stepMin,
 		Fault:      cfg.Fault,
+		Scenario:   cfg.Scenario,
 		Records:    make([]Record, 0, cfg.Steps),
 	}
 
@@ -183,6 +190,9 @@ func Run(cfg Config) (*Trace, error) {
 		var carbsAnnounced float64
 		if cfg.AnnounceMeals {
 			for mi, m := range cfg.Meals {
+				if m.Unannounced {
+					continue
+				}
 				if !announced[mi] && m.StartMin >= t && m.StartMin < t+stepMin {
 					carbsAnnounced += m.Grams
 					announced[mi] = true

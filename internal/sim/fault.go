@@ -80,12 +80,19 @@ func (f Fault) Apply(step int, commanded, stuckRate float64) float64 {
 }
 
 // RandomFault draws a fault scenario for an episode of the given length,
-// using rng. Fault onset avoids the first windup steps so monitors see some
-// nominal prefix; magnitudes span the severities that produce hazards in the
-// simulators without being trivially detectable from a single sample.
+// using rng: a uniformly chosen fault type with FaultOfType's onset and
+// severity distributions.
 func RandomFault(rng *rand.Rand, steps int) Fault {
 	types := []FaultType{FaultOverdose, FaultUnderdose, FaultSuspend, FaultStuck, FaultMax}
-	ft := types[rng.Intn(len(types))]
+	return FaultOfType(rng, steps, types[rng.Intn(len(types))])
+}
+
+// FaultOfType draws the onset, duration and magnitude of a fault of the
+// given type for an episode of the given length. Fault onset avoids the
+// first windup steps so monitors see some nominal prefix; magnitudes span
+// the severities that produce hazards in the simulators without being
+// trivially detectable from a single sample.
+func FaultOfType(rng *rand.Rand, steps int, ft FaultType) Fault {
 	minStart := steps / 8
 	if minStart < 8 {
 		minStart = 8
