@@ -15,6 +15,7 @@ import (
 	"repro/internal/artifact"
 	"repro/internal/attack"
 	"repro/internal/dataset"
+	"repro/internal/eval"
 	"repro/internal/experiments"
 	"repro/internal/mat"
 	"repro/internal/monitor"
@@ -625,4 +626,40 @@ func BenchmarkTrainMLP(b *testing.B) {
 func BenchmarkTrainLSTM(b *testing.B) {
 	b.Run("serial", func(b *testing.B) { benchTrainMonitor(b, dataset.T1DS, monitor.ArchLSTM, 1) })
 	b.Run("parallel8", func(b *testing.B) { benchTrainMonitor(b, dataset.T1DS, monitor.ArchLSTM, 8) })
+}
+
+// benchEvaluate measures one full episode-streaming evaluation of a trained
+// MLP monitor (per-episode inference + tolerance-window scoring + slicing)
+// at a fixed worker count. Reports are byte-identical at every setting
+// (eval.TestEvaluateDeterministicAcrossWorkers), so serial vs parallel8 is a
+// pure wall-clock comparison; BenchmarkEvaluate is gated in CI against
+// BENCH_BASELINE.json.
+func benchEvaluate(b *testing.B, workers int) {
+	b.Helper()
+	a := assets(b)
+	sa := a.Sims[dataset.Glucosym]
+	m, err := sa.Monitor("mlp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sweep.SetBudget(workers)
+	defer sweep.SetBudget(0)
+	opts := eval.Options{Tolerance: a.Config.ToleranceDelta, Workers: workers}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := eval.Evaluate(m, sa.Test, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(rep.Overall.F1, "overall-F1")
+		}
+	}
+}
+
+// BenchmarkEvaluate compares serial and 8-way parallel evaluation — the
+// third parallel stage of a run, after generation and training.
+func BenchmarkEvaluate(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchEvaluate(b, 1) })
+	b.Run("parallel8", func(b *testing.B) { benchEvaluate(b, 8) })
 }

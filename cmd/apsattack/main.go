@@ -61,6 +61,10 @@ func run() error {
 	if *parallel < 1 {
 		return fmt.Errorf("-parallel %d, want >= 1", *parallel)
 	}
+	// The experiments-level worker knob also drives the scoring adapters
+	// (Score/ScoreEpisodes fan episodes out through it), so -parallel 1
+	// really is serial end to end.
+	experiments.SetWorkers(*parallel)
 	mat.SetParallelism(*parallel)
 	sweep.SetBudget(*parallel)
 	store := cache.Open(log.Printf)

@@ -5,6 +5,16 @@
 //	apsexperiments [-exp table3|fig1b|fig2|...|all] [-scale bench|default|paper]
 //	               [-profiles N] [-episodes N] [-steps N] [-epochs N] [-seed N]
 //	               [-scenarios MIX] [-parallel N] [-cache DIR] [-no-cache]
+//	apsexperiments -report [-out report.json] [same flags]
+//
+// -report renders the unified evaluation report instead of the figure
+// experiments: per-scenario and per-fault-type F1 + detection-latency rows
+// for every monitor on both simulators, evaluated episode-parallel and
+// served from the report artifact cache on warm runs (a warm -report run
+// performs zero monitor inferences). -out additionally writes the full
+// report set as JSON (and implies -report). In report mode stdout carries
+// only the report, so the output diffs clean across -parallel settings;
+// status goes to stderr.
 //
 // -scenarios overrides the campaign scenario mix ("name[:weight],…" over the
 // sim.Scenarios registry, default "nominal:1,random_fault:1"); each
@@ -48,6 +58,8 @@ func main() {
 
 func run() error {
 	exp := flag.String("exp", "all", "experiment id (table3, fig1b, fig2..fig10) or 'all'")
+	report := flag.Bool("report", false, "render the per-scenario evaluation report instead of the figure experiments")
+	out := flag.String("out", "", "write the JSON report set here (implies -report)")
 	scale := flag.String("scale", "default", "preset: bench, default, or paper")
 	profiles := flag.Int("profiles", 0, "override: patient profiles per simulator")
 	episodes := flag.Int("episodes", 0, "override: episodes per profile")
@@ -62,6 +74,18 @@ func run() error {
 
 	if *parallel < 1 {
 		return fmt.Errorf("-parallel %d, want >= 1", *parallel)
+	}
+	if *out != "" {
+		*report = true // -out has no meaning without the report surface
+	}
+	expSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "exp" {
+			expSet = true
+		}
+	})
+	if *report && expSet {
+		return fmt.Errorf("-exp selects figure experiments and cannot be combined with -report/-out")
 	}
 	experiments.SetWorkers(*parallel)
 	mat.SetParallelism(*parallel)
@@ -103,13 +127,39 @@ func run() error {
 	}
 	cfg.Scenarios = mix
 
-	fmt.Printf("generating campaigns (%s, parallel=%d)...\n", cfg, *parallel)
+	status := os.Stdout
+	if *report {
+		// Report mode keeps stdout byte-identical across -parallel settings
+		// and warm/cold runs: only the report itself goes there.
+		status = os.Stderr
+	}
+	fmt.Fprintf(status, "generating campaigns (%s, parallel=%d)...\n", cfg, *parallel)
 	t0 := time.Now()
 	assets, err := experiments.Shared(cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("datasets ready in %v (monitors train lazily on first use)\n\n", time.Since(t0).Round(time.Millisecond))
+	fmt.Fprintf(status, "datasets ready in %v (monitors train lazily on first use)\n\n", time.Since(t0).Round(time.Millisecond))
+
+	if *report {
+		res, err := experiments.Reports(assets)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := res.Set.Save(f); err != nil {
+				return err
+			}
+			fmt.Fprintf(status, "report set written to %s\n", *out)
+		}
+		return nil
+	}
 
 	ids := []string{*exp}
 	if *exp == "all" {

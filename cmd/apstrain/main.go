@@ -6,7 +6,14 @@
 //
 //	apstrain [-sim glucosym|t1ds] [-arch mlp|lstm] [-semantic] [-epochs N]
 //	         [-profiles N] [-episodes N] [-steps N] [-out model.json]
+//	         [-report] [-report-out report.json]
 //	         [-parallel N] [-cache DIR] [-no-cache]
+//
+// -report renders the monitor's per-scenario and per-fault-type evaluation
+// report (F1 + detection latency per slice) on the test split; -report-out
+// additionally writes it as JSON. The report is cached content-addressed
+// like campaigns and monitors, so a warm -report run serves it from the
+// store.
 //
 // Campaigns and trained monitors are cached content-addressed under -cache
 // (default $APSREPRO_CACHE or ~/.cache/apsrepro): rerunning with identical
@@ -29,8 +36,10 @@ import (
 
 	"repro/internal/artifact"
 	"repro/internal/dataset"
+	"repro/internal/eval"
 	"repro/internal/experiments"
 	"repro/internal/mat"
+	"repro/internal/metrics"
 	"repro/internal/monitor"
 	"repro/internal/sim"
 	"repro/internal/sweep"
@@ -41,6 +50,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "apstrain:", err)
 		os.Exit(1)
 	}
+}
+
+// printSummary prints the one-line clean-input score, whichever path
+// (direct scoring or the cached report) produced the confusion matrix.
+func printSummary(name string, c metrics.Confusion, delta int) {
+	fmt.Printf("%s: ACC=%.3f F1=%.3f P=%.3f R=%.3f (tolerance-window δ=%d)\n",
+		name, c.Accuracy(), c.F1(), c.Precision(), c.Recall(), delta)
 }
 
 func run() error {
@@ -55,12 +71,18 @@ func run() error {
 	scenarios := flag.String("scenarios", "", "campaign scenario mix, e.g. 'nominal:1,random_fault:1,sensor_drift:0.5'")
 	seed := flag.Int64("seed", 1, "seed")
 	out := flag.String("out", "", "write the trained model JSON here")
+	report := flag.Bool("report", false, "render the per-scenario/per-fault evaluation report on the test split")
+	reportOut := flag.String("report-out", "", "write the JSON evaluation report here (implies -report)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for training and matrix products (1 = serial)")
 	cache := artifact.AddFlags(flag.CommandLine)
 	flag.Parse()
 	if *parallel < 1 {
 		return fmt.Errorf("-parallel %d, want >= 1", *parallel)
 	}
+	// The experiments-level worker knob also drives the scoring adapters
+	// (Score/ScoreEpisodes fan episodes out through it), so -parallel 1
+	// really is serial end to end.
+	experiments.SetWorkers(*parallel)
 	mat.SetParallelism(*parallel)
 	sweep.SetBudget(*parallel)
 	store := cache.Open(log.Printf)
@@ -115,26 +137,63 @@ func run() error {
 	fmt.Printf("dataset: %d samples (%.1f%% unsafe), train %d / test %d\n",
 		ds.Len(), 100*ds.UnsafeFraction(), train.Len(), test.Len())
 
-	m, hit, err := experiments.CachedMonitor(store, train, camp, trainFrac, monitor.TrainConfig{
+	tc := monitor.TrainConfig{
 		Arch:           a,
 		Semantic:       *semantic,
 		SemanticWeight: *weight,
 		Epochs:         *epochs,
 		Seed:           *seed,
 		Workers:        *parallel,
-	})
+	}
+	m, hit, err := experiments.CachedMonitor(store, train, camp, trainFrac, tc)
 	if err != nil {
 		return err
 	}
 	if hit {
 		fmt.Println("monitor loaded from artifact cache (training skipped)")
 	}
-	c, err := experiments.Score(m, test, 12, nil)
-	if err != nil {
-		return err
+	const delta = 12
+	if *report || *reportOut != "" {
+		// Report mode evaluates exactly once: the cached report's overall
+		// slice also supplies the summary line, so a warm run does no
+		// inference at all for scoring.
+		rc := eval.ReportConfig{
+			Campaign:  camp,
+			TrainFrac: trainFrac,
+			Monitor:   m.Name(),
+			Train:     tc,
+			Tolerance: delta,
+		}
+		rep, hit, err := eval.CachedReport(store, rc, func() (*eval.Report, error) {
+			return eval.Evaluate(m, test, eval.Options{Tolerance: delta, Workers: *parallel})
+		})
+		if err != nil {
+			return err
+		}
+		if hit {
+			fmt.Println("evaluation report loaded from artifact cache")
+		}
+		printSummary(m.Name(), rep.Overall.Confusion, delta)
+		set := &eval.Set{Tolerance: delta, Reports: []*eval.Report{rep}}
+		fmt.Print(experiments.RenderReportSet(set))
+		if *reportOut != "" {
+			f, err := os.Create(*reportOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := set.Save(f); err != nil {
+				return err
+			}
+			fmt.Printf("evaluation report written to %s\n", *reportOut)
+		}
+	} else {
+		c, err := experiments.Score(m, test, delta, nil)
+		if err != nil {
+			return err
+		}
+		printSummary(m.Name(), c, delta)
 	}
-	fmt.Printf("%s: ACC=%.3f F1=%.3f P=%.3f R=%.3f (tolerance-window δ=12)\n",
-		m.Name(), c.Accuracy(), c.F1(), c.Precision(), c.Recall())
 
 	if *out != "" {
 		f, err := os.Create(*out)

@@ -15,11 +15,21 @@
 // stripping the -GOMAXPROCS suffix so baselines compare across machines
 // with different core counts.
 //
-// With -baseline, every baseline benchmark whose name matches -gate must
-// be present in the current run and its ns/op must not exceed the baseline
-// by more than -max-regress (fractional, default 0.20); otherwise benchgate
-// exits non-zero listing the regressions. Without -baseline (or with an
-// empty -gate) it only emits the summary.
+// With -baseline, every baseline benchmark matching a gate must be present
+// in the current run and its ns/op must not exceed the baseline by more
+// than the gate's allowance; otherwise benchgate exits non-zero listing the
+// regressions. Gates come from two places:
+//
+//   - per-benchmark thresholds embedded in the baseline JSON itself (the
+//     "gates" object, mapping a name regexp to its max fractional
+//     regression — written into a summary with -gates), so the committed
+//     BENCH_BASELINE.json carries its own gating policy;
+//   - the -gate/-max-regress flag pair, which adds one more gate (the
+//     legacy single-pattern interface).
+//
+// A benchmark matched by several gates is held to the strictest allowance.
+// Without -baseline (or with neither baseline gates nor -gate) benchgate
+// only emits the summary.
 package main
 
 import (
@@ -48,6 +58,10 @@ type Summary struct {
 	Schema     int              `json:"schema"`
 	Commit     string           `json:"commit,omitempty"`
 	Benchmarks map[string]Bench `json:"benchmarks"`
+	// Gates maps benchmark-name regexps to the maximum fractional ns/op
+	// regression allowed over this summary when it serves as the baseline.
+	// Committed baselines carry their own gating policy this way.
+	Gates map[string]float64 `json:"gates,omitempty"`
 }
 
 // gomaxprocsSuffix matches the trailing -N processor-count suffix of a
@@ -129,17 +143,37 @@ type regression struct {
 	missing        bool
 }
 
-// gate compares current against baseline for every baseline benchmark
-// matching pattern, on the ns/op metric.
-func gate(baseline, current map[string]Bench, pattern *regexp.Regexp, maxRegress float64) []regression {
-	var regs []regression
+// gateEntry is one compiled gating rule.
+type gateEntry struct {
+	pattern    *regexp.Regexp
+	maxRegress float64
+}
+
+// gate compares current against baseline on the ns/op metric. Every
+// baseline benchmark matching at least one gate is checked against the
+// strictest matching allowance; each gate must match at least one baseline
+// benchmark (a gate that matches nothing is a configuration error).
+func gate(baseline, current map[string]Bench, gates []gateEntry) ([]regression, error) {
 	names := make([]string, 0, len(baseline))
 	for name := range baseline {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	matched := make([]bool, len(gates))
+	var regs []regression
 	for _, name := range names {
-		if !pattern.MatchString(name) {
+		allowed, gated := 0.0, false
+		for gi, g := range gates {
+			if !g.pattern.MatchString(name) {
+				continue
+			}
+			matched[gi] = true
+			if !gated || g.maxRegress < allowed {
+				allowed = g.maxRegress
+			}
+			gated = true
+		}
+		if !gated {
 			continue
 		}
 		base, ok := baseline[name].Metrics["ns/op"]
@@ -157,11 +191,58 @@ func gate(baseline, current map[string]Bench, pattern *regexp.Regexp, maxRegress
 			continue
 		}
 		ratio := curNs / base
-		if ratio > 1+maxRegress {
-			regs = append(regs, regression{name: name, base: base, cur: curNs, ratio: ratio, allowed: 1 + maxRegress})
+		if ratio > 1+allowed {
+			regs = append(regs, regression{name: name, base: base, cur: curNs, ratio: ratio, allowed: 1 + allowed})
 		}
 	}
-	return regs
+	for gi, ok := range matched {
+		if !ok {
+			return nil, fmt.Errorf("gate %q matches no baseline benchmark", gates[gi].pattern)
+		}
+	}
+	return regs, nil
+}
+
+// parseGatesFlag parses the -gates syntax "regexp=maxRegress,…".
+func parseGatesFlag(s string) (map[string]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	out := make(map[string]float64)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		i := strings.LastIndexByte(part, '=')
+		if i < 0 {
+			return nil, fmt.Errorf("bad -gates entry %q (want regexp=maxRegress)", part)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(part[i+1:]), 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad -gates threshold in %q", part)
+		}
+		out[strings.TrimSpace(part[:i])] = v
+	}
+	return out, nil
+}
+
+// compileGates turns a gates map into deterministic (sorted) compiled rules.
+func compileGates(gates map[string]float64) ([]gateEntry, error) {
+	exprs := make([]string, 0, len(gates))
+	for e := range gates {
+		exprs = append(exprs, e)
+	}
+	sort.Strings(exprs)
+	out := make([]gateEntry, 0, len(exprs))
+	for _, e := range exprs {
+		p, err := regexp.Compile(e)
+		if err != nil {
+			return nil, fmt.Errorf("bad gate %q: %w", e, err)
+		}
+		out = append(out, gateEntry{pattern: p, maxRegress: gates[e]})
+	}
+	return out, nil
 }
 
 func main() {
@@ -175,8 +256,9 @@ func run() error {
 	input := flag.String("input", "", "benchmark output file (default stdin)")
 	out := flag.String("out", "", "write the JSON summary here (default stdout)")
 	baselinePath := flag.String("baseline", "", "baseline JSON to gate against (omit to only emit the summary)")
-	gateExpr := flag.String("gate", "", "regexp of benchmark names to gate (omit to only emit the summary)")
-	maxRegress := flag.Float64("max-regress", 0.20, "maximum allowed fractional ns/op regression over the baseline")
+	gateExpr := flag.String("gate", "", "regexp of benchmark names to gate with -max-regress (adds to the baseline's own gates)")
+	maxRegress := flag.Float64("max-regress", 0.20, "maximum allowed fractional ns/op regression for the -gate pattern")
+	gatesFlag := flag.String("gates", "", "per-benchmark gates to embed in the emitted summary, e.g. '^BenchmarkFoo/=0.20,^BenchmarkBar=0.30'")
 	commit := flag.String("commit", os.Getenv("GITHUB_SHA"), "commit hash recorded in the summary")
 	flag.Parse()
 
@@ -197,7 +279,23 @@ func run() error {
 		return fmt.Errorf("no benchmark lines in input")
 	}
 
-	summary := Summary{Schema: 1, Commit: *commit, Benchmarks: benches}
+	embedGates, err := parseGatesFlag(*gatesFlag)
+	if err != nil {
+		return err
+	}
+	if len(embedGates) > 0 {
+		// Embedded gates must compile and be self-consistent before they are
+		// committed as a baseline's policy.
+		compiled, err := compileGates(embedGates)
+		if err != nil {
+			return err
+		}
+		if _, err := gate(benches, benches, compiled); err != nil {
+			return err
+		}
+	}
+
+	summary := Summary{Schema: 1, Commit: *commit, Benchmarks: benches, Gates: embedGates}
 	enc, err := json.MarshalIndent(summary, "", "  ")
 	if err != nil {
 		return err
@@ -212,7 +310,7 @@ func run() error {
 		os.Stdout.Write(enc)
 	}
 
-	if *baselinePath == "" || *gateExpr == "" {
+	if *baselinePath == "" {
 		return nil
 	}
 	raw, err := os.ReadFile(*baselinePath)
@@ -223,22 +321,26 @@ func run() error {
 	if err := json.Unmarshal(raw, &baseline); err != nil {
 		return fmt.Errorf("parse baseline: %w", err)
 	}
-	pattern, err := regexp.Compile(*gateExpr)
+	gates, err := compileGates(baseline.Gates)
 	if err != nil {
-		return fmt.Errorf("bad -gate: %w", err)
+		return fmt.Errorf("baseline gates: %w", err)
 	}
-	regs := gate(baseline.Benchmarks, benches, pattern, *maxRegress)
-	gated := 0
-	for name := range baseline.Benchmarks {
-		if pattern.MatchString(name) {
-			gated++
+	if *gateExpr != "" {
+		pattern, err := regexp.Compile(*gateExpr)
+		if err != nil {
+			return fmt.Errorf("bad -gate: %w", err)
 		}
+		gates = append(gates, gateEntry{pattern: pattern, maxRegress: *maxRegress})
 	}
-	if gated == 0 {
-		return fmt.Errorf("gate %q matches no baseline benchmark", *gateExpr)
+	if len(gates) == 0 {
+		return nil // baseline carries no policy and no -gate given: summary only
+	}
+	regs, err := gate(baseline.Benchmarks, benches, gates)
+	if err != nil {
+		return err
 	}
 	if len(regs) == 0 {
-		fmt.Fprintf(os.Stderr, "benchgate: %d gated benchmark(s) within %.0f%% of baseline\n", gated, 100**maxRegress)
+		fmt.Fprintf(os.Stderr, "benchgate: %d gate(s) clean against baseline\n", len(gates))
 		return nil
 	}
 	for _, g := range regs {
@@ -249,5 +351,5 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "benchgate: REGRESSION %s: %.0f ns/op vs baseline %.0f (%.2fx > %.2fx allowed)\n",
 			g.name, g.cur, g.base, g.ratio, g.allowed)
 	}
-	return fmt.Errorf("%d benchmark regression(s) beyond %.0f%%", len(regs), 100**maxRegress)
+	return fmt.Errorf("%d benchmark regression(s) beyond allowance", len(regs))
 }

@@ -71,7 +71,7 @@ func TestGate(t *testing.T) {
 		"BenchmarkRunCampaign/parallel8": {Runs: 5, Metrics: map[string]float64{"ns/op": 50}},
 		"BenchmarkTrainMLP/serial":       {Runs: 5, Metrics: map[string]float64{"ns/op": 10}},
 	}
-	pat := regexp.MustCompile(`^BenchmarkRunCampaign/`)
+	gates := []gateEntry{{pattern: regexp.MustCompile(`^BenchmarkRunCampaign/`), maxRegress: 0.20}}
 
 	// Within the allowance (and ungated benchmarks regress freely).
 	current := map[string]Bench{
@@ -79,20 +79,30 @@ func TestGate(t *testing.T) {
 		"BenchmarkRunCampaign/parallel8": {Runs: 5, Metrics: map[string]float64{"ns/op": 40}},
 		"BenchmarkTrainMLP/serial":       {Runs: 5, Metrics: map[string]float64{"ns/op": 900}},
 	}
-	if regs := gate(baseline, current, pat, 0.20); len(regs) != 0 {
+	regs, err := gate(baseline, current, gates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
 		t.Fatalf("unexpected regressions: %+v", regs)
 	}
 
 	// Beyond the allowance.
 	current["BenchmarkRunCampaign/parallel8"] = Bench{Runs: 5, Metrics: map[string]float64{"ns/op": 61}}
-	regs := gate(baseline, current, pat, 0.20)
+	regs, err = gate(baseline, current, gates)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(regs) != 1 || regs[0].name != "BenchmarkRunCampaign/parallel8" {
 		t.Fatalf("regressions = %+v, want the parallel8 one", regs)
 	}
 
 	// A gated baseline benchmark missing from the run is a failure too.
 	delete(current, "BenchmarkRunCampaign/serial")
-	regs = gate(baseline, current, pat, 0.20)
+	regs, err = gate(baseline, current, gates)
+	if err != nil {
+		t.Fatal(err)
+	}
 	found := false
 	for _, r := range regs {
 		if r.name == "BenchmarkRunCampaign/serial" && r.missing {
@@ -101,5 +111,80 @@ func TestGate(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("missing gated benchmark not reported: %+v", regs)
+	}
+}
+
+func TestGatePerBenchmarkThresholds(t *testing.T) {
+	baseline := map[string]Bench{
+		"BenchmarkRunCampaign/serial": {Runs: 5, Metrics: map[string]float64{"ns/op": 100}},
+		"BenchmarkTrainMLP/serial":    {Runs: 5, Metrics: map[string]float64{"ns/op": 100}},
+		"BenchmarkEvaluate/serial":    {Runs: 5, Metrics: map[string]float64{"ns/op": 100}},
+	}
+	gates, err := compileGates(map[string]float64{
+		"^BenchmarkRunCampaign/": 0.20,
+		"^BenchmarkTrainMLP/":    0.50,
+		"^BenchmarkEvaluate/":    0.30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each benchmark sits just beyond the *other* gates' thresholds but
+	// within its own: no regression may fire.
+	current := map[string]Bench{
+		"BenchmarkRunCampaign/serial": {Runs: 5, Metrics: map[string]float64{"ns/op": 119}},
+		"BenchmarkTrainMLP/serial":    {Runs: 5, Metrics: map[string]float64{"ns/op": 149}},
+		"BenchmarkEvaluate/serial":    {Runs: 5, Metrics: map[string]float64{"ns/op": 129}},
+	}
+	regs, err := gate(baseline, current, gates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("per-benchmark thresholds misapplied: %+v", regs)
+	}
+	// Exceeding its own threshold fires, and reports that gate's allowance.
+	current["BenchmarkEvaluate/serial"] = Bench{Runs: 5, Metrics: map[string]float64{"ns/op": 131}}
+	regs, err = gate(baseline, current, gates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].name != "BenchmarkEvaluate/serial" || regs[0].allowed != 1.30 {
+		t.Fatalf("regressions = %+v, want BenchmarkEvaluate/serial at 1.30x", regs)
+	}
+	// A benchmark matched by two gates is held to the strictest one.
+	gates2 := append(gates, gateEntry{pattern: regexp.MustCompile(`^Benchmark`), maxRegress: 0.10})
+	current["BenchmarkEvaluate/serial"] = Bench{Runs: 5, Metrics: map[string]float64{"ns/op": 115}}
+	current["BenchmarkRunCampaign/serial"] = Bench{Runs: 5, Metrics: map[string]float64{"ns/op": 100}}
+	current["BenchmarkTrainMLP/serial"] = Bench{Runs: 5, Metrics: map[string]float64{"ns/op": 100}}
+	regs, err = gate(baseline, current, gates2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].name != "BenchmarkEvaluate/serial" || regs[0].allowed != 1.10 {
+		t.Fatalf("strictest-gate rule broken: %+v", regs)
+	}
+	// A gate matching no baseline benchmark is a configuration error.
+	bad := append(gates, gateEntry{pattern: regexp.MustCompile(`^BenchmarkNope`), maxRegress: 0.10})
+	if _, err := gate(baseline, current, bad); err == nil {
+		t.Fatal("gate matching nothing did not error")
+	}
+}
+
+func TestParseGatesFlag(t *testing.T) {
+	gates, err := parseGatesFlag(" ^BenchmarkRunCampaign/=0.20 , ^BenchmarkEvaluate=0.30 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gates) != 2 || gates["^BenchmarkRunCampaign/"] != 0.20 || gates["^BenchmarkEvaluate"] != 0.30 {
+		t.Fatalf("parsed gates = %v", gates)
+	}
+	if g, err := parseGatesFlag(""); err != nil || g != nil {
+		t.Fatalf("empty flag: %v %v", g, err)
+	}
+	if _, err := parseGatesFlag("no-equals"); err == nil {
+		t.Fatal("missing threshold did not error")
+	}
+	if _, err := parseGatesFlag("^Bench=-0.1"); err == nil {
+		t.Fatal("negative threshold did not error")
 	}
 }

@@ -8,20 +8,31 @@
 //	stlcheck -trace trace.csv -formula 'F[0,12](true_bg > 180)'
 //	stlcheck -trace trace.csv -formula 'true_bg < 70' -all
 //
-// -cache/-no-cache are accepted for uniformity with the rest of the
-// toolchain; formula evaluation over a CSV trace is instantaneous, so
-// stlcheck has no cacheable artifacts and the store is never written.
+// Whole-trace summaries (-all) are cached content-addressed under -cache
+// (default $APSREPRO_CACHE or ~/.cache/apsrepro), keyed by the trace bytes
+// and the canonicalized formula — rerunning the same check on a long trace
+// replays the stored summary instead of re-evaluating every step. Cache
+// events are logged to stderr; -no-cache disables persistence. Single-step
+// checks are evaluated directly (cheaper than any cache).
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
+	"log"
 	"os"
 	"sort"
 
 	"repro/internal/artifact"
 	"repro/internal/stl"
 )
+
+// summaryFormatVersion identifies the cached -all summary encoding. Bump it
+// whenever the rendered summary or the evaluation semantics change — stale
+// entries then become unreachable and are re-evaluated.
+const summaryFormatVersion = 1
 
 func main() {
 	if err := run(); err != nil {
@@ -36,18 +47,17 @@ func run() error {
 	step := flag.Int("step", 0, "evaluation step")
 	all := flag.Bool("all", false, "evaluate at every step and summarize")
 	listSignals := flag.Bool("signals", false, "list the trace's signals and exit")
-	_ = artifact.AddFlags(flag.CommandLine) // uniform flags; no cacheable artifacts here
+	cache := artifact.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *tracePath == "" {
 		return fmt.Errorf("missing -trace")
 	}
-	f, err := os.Open(*tracePath)
+	raw, err := os.ReadFile(*tracePath)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	trace, err := stl.FromCSV(f)
+	trace, err := stl.FromCSV(bytes.NewReader(raw))
 	if err != nil {
 		return err
 	}
@@ -84,6 +94,45 @@ func run() error {
 		return nil
 	}
 
+	// The -all summary is a pure function of (trace bytes, formula), so it
+	// is cached like campaigns and monitors: the key fingerprints the exact
+	// inputs, and a hit replays the stored summary verbatim.
+	key := artifact.Key{
+		Kind:        "stlsummary",
+		Version:     summaryFormatVersion,
+		Fingerprint: artifact.Fingerprint("stlcheck", string(raw), formula.String()),
+	}
+	var summary []byte
+	_, err = cache.Open(log.Printf).GetOrCreate(key,
+		func(r io.Reader) error {
+			var lerr error
+			summary, lerr = io.ReadAll(r)
+			if lerr == nil && len(summary) == 0 {
+				lerr = fmt.Errorf("empty summary")
+			}
+			return lerr
+		},
+		func() error {
+			var buf bytes.Buffer
+			summarizeAll(&buf, trace, formula)
+			summary = buf.Bytes()
+			return nil
+		},
+		func(w io.Writer) error {
+			_, werr := w.Write(summary)
+			return werr
+		},
+	)
+	if err != nil {
+		return err
+	}
+	os.Stdout.Write(summary)
+	return nil
+}
+
+// summarizeAll evaluates the formula at every step and writes the summary —
+// the exact text a cache hit replays.
+func summarizeAll(w io.Writer, trace *stl.MapTrace, formula stl.Formula) {
 	n := trace.Len()
 	satisfied := 0
 	firstViolation := -1
@@ -92,7 +141,7 @@ func run() error {
 		if err != nil {
 			// Steps whose temporal window falls off the trace end are
 			// reported and skipped.
-			fmt.Printf("step %d: not evaluable (%v)\n", t, err)
+			fmt.Fprintf(w, "step %d: not evaluable (%v)\n", t, err)
 			continue
 		}
 		if ok {
@@ -101,11 +150,10 @@ func run() error {
 			firstViolation = t
 		}
 	}
-	fmt.Printf("%q satisfied at %d/%d steps\n", formula.String(), satisfied, n)
+	fmt.Fprintf(w, "%q satisfied at %d/%d steps\n", formula.String(), satisfied, n)
 	if firstViolation >= 0 {
-		fmt.Printf("first violation at step %d\n", firstViolation)
+		fmt.Fprintf(w, "first violation at step %d\n", firstViolation)
 	}
-	return nil
 }
 
 func verdict(ok bool) string {

@@ -7,6 +7,7 @@ import (
 	"log"
 
 	"repro/internal/dataset"
+	"repro/internal/eval"
 	"repro/internal/monitor"
 )
 
@@ -44,14 +45,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	pred := eval.BinaryPredictions(verdicts)
 	var alerts, correct int
-	for i, v := range verdicts {
-		pred := 0
-		if v.Unsafe {
-			pred = 1
-			alerts++
-		}
-		if pred == test.Samples[i].Label {
+	for i, p := range pred {
+		alerts += p
+		if p == test.Samples[i].Label {
 			correct++
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"log"
 
 	"repro/internal/dataset"
+	"repro/internal/eval"
 	"repro/internal/experiments"
 	"repro/internal/monitor"
 )
@@ -65,12 +66,8 @@ func main() {
 			log.Fatal(err)
 		}
 		agree := 0
-		for i, v := range verdicts {
-			pred := 0.0
-			if v.Unsafe {
-				pred = 1
-			}
-			if pred == test.Samples[i].Knowledge {
+		for i, p := range eval.BinaryPredictions(verdicts) {
+			if float64(p) == test.Samples[i].Knowledge {
 				agree++
 			}
 		}

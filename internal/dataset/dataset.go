@@ -78,6 +78,11 @@ type Dataset struct {
 	// Scenarios[i] names the scenario generator that produced episode i
 	// (provenance; empty entries mean the trace was hand-built).
 	Scenarios []string `json:",omitempty"`
+	// Faults[i] names the fault type injected into episode i ("none" for
+	// fault-free episodes). Like Scenarios it is per-episode provenance,
+	// aligned with EpisodeIndex; nil on datasets persisted before it was
+	// recorded.
+	Faults []string `json:",omitempty"`
 
 	// Normalization statistics (per feature column, computed on this set or
 	// inherited from the training set).
@@ -331,6 +336,7 @@ func FromTraces(traces []*sim.Trace, window, horizon int, bgTarget float64) (*Da
 		ds.Samples = append(ds.Samples, samples...)
 		ds.EpisodeIndex = append(ds.EpisodeIndex, [2]int{from, len(ds.Samples)})
 		ds.Scenarios = append(ds.Scenarios, tr.Scenario)
+		ds.Faults = append(ds.Faults, FaultName(tr.Fault))
 		if tr.Scenario != "" {
 			anyScenario = true
 		}
@@ -339,6 +345,15 @@ func FromTraces(traces []*sim.Trace, window, horizon int, bgTarget float64) (*Da
 		ds.Scenarios = nil // hand-built traces: keep the legacy encoding
 	}
 	return ds, nil
+}
+
+// FaultName canonicalizes a trace's fault into per-episode provenance:
+// "none" for fault-free episodes, the fault type's name otherwise.
+func FaultName(f *sim.Fault) string {
+	if f == nil {
+		return "none"
+	}
+	return f.Type.String()
 }
 
 // Split partitions the dataset by episode into train and test sets (the
@@ -360,26 +375,8 @@ func (d *Dataset) Split(trainFrac float64) (train, test *Dataset, err error) {
 		order[i] = i
 	}
 	rand.New(rand.NewSource(929)).Shuffle(nEp, func(i, j int) { order[i], order[j] = order[j], order[i] })
-	mk := func(eps []int) *Dataset {
-		out := &Dataset{
-			Simulator: d.Simulator,
-			Window:    d.Window,
-			Horizon:   d.Horizon,
-			BGTarget:  d.BGTarget,
-		}
-		for _, ep := range eps {
-			r := d.EpisodeIndex[ep]
-			from := len(out.Samples)
-			out.Samples = append(out.Samples, d.Samples[r[0]:r[1]]...)
-			out.EpisodeIndex = append(out.EpisodeIndex, [2]int{from, len(out.Samples)})
-			if len(d.Scenarios) == len(d.EpisodeIndex) {
-				out.Scenarios = append(out.Scenarios, d.Scenarios[ep])
-			}
-		}
-		return out
-	}
-	train = mk(order[:cut])
-	test = mk(order[cut:])
+	train = d.subset(order[:cut])
+	test = d.subset(order[cut:])
 	train.MLPNorm, err = fitNormalizer(train, func(s Sample) []float64 { return s.MLP })
 	if err != nil {
 		return nil, nil, err
@@ -390,4 +387,49 @@ func (d *Dataset) Split(trainFrac float64) (train, test *Dataset, err error) {
 	}
 	test.MLPNorm, test.SeqNorm = train.MLPNorm, train.SeqNorm
 	return train, test, nil
+}
+
+// subset assembles a new dataset from the given original episode indices,
+// re-indexing episodes while keeping any per-episode provenance (Scenarios,
+// Faults) aligned with the new EpisodeIndex. Datasets without provenance
+// (legacy encodings with nil slices) stay provenance-free. Normalizers are
+// not copied — Split fits/shares them and Filter inherits them explicitly.
+func (d *Dataset) subset(eps []int) *Dataset {
+	out := &Dataset{
+		Simulator: d.Simulator,
+		Window:    d.Window,
+		Horizon:   d.Horizon,
+		BGTarget:  d.BGTarget,
+	}
+	hasScenarios := len(d.Scenarios) == len(d.EpisodeIndex)
+	hasFaults := len(d.Faults) == len(d.EpisodeIndex)
+	for _, ep := range eps {
+		r := d.EpisodeIndex[ep]
+		from := len(out.Samples)
+		out.Samples = append(out.Samples, d.Samples[r[0]:r[1]]...)
+		out.EpisodeIndex = append(out.EpisodeIndex, [2]int{from, len(out.Samples)})
+		if hasScenarios {
+			out.Scenarios = append(out.Scenarios, d.Scenarios[ep])
+		}
+		if hasFaults {
+			out.Faults = append(out.Faults, d.Faults[ep])
+		}
+	}
+	return out
+}
+
+// Filter returns the sub-dataset of episodes for which keep reports true
+// (e.g. all episodes of one scenario), sharing the receiver's normalizers so
+// monitor inputs are assembled identically. Provenance stays aligned with
+// the re-built EpisodeIndex; an empty selection yields an empty dataset.
+func (d *Dataset) Filter(keep func(ep int) bool) *Dataset {
+	var eps []int
+	for ep := range d.EpisodeIndex {
+		if keep(ep) {
+			eps = append(eps, ep)
+		}
+	}
+	out := d.subset(eps)
+	out.MLPNorm, out.SeqNorm = d.MLPNorm, d.SeqNorm
+	return out
 }

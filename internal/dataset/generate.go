@@ -179,13 +179,14 @@ func Generate(cfg CampaignConfig) (*Dataset, error) {
 	type episode struct {
 		samples  []Sample
 		scenario string
+		fault    string
 	}
 	episodes, err := runEpisodes(cfg, func(i int, tr *sim.Trace) (episode, error) {
 		samples, err := w.windowTrace(tr, i)
 		if err != nil {
 			return episode{}, err
 		}
-		return episode{samples: samples, scenario: tr.Scenario}, nil
+		return episode{samples: samples, scenario: tr.Scenario, fault: FaultName(tr.Fault)}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -201,6 +202,7 @@ func Generate(cfg CampaignConfig) (*Dataset, error) {
 		ds.Samples = append(ds.Samples, ep.samples...)
 		ds.EpisodeIndex = append(ds.EpisodeIndex, [2]int{from, len(ds.Samples)})
 		ds.Scenarios = append(ds.Scenarios, ep.scenario)
+		ds.Faults = append(ds.Faults, ep.fault)
 	}
 	return ds, nil
 }

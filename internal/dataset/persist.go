@@ -16,7 +16,10 @@ import (
 // v2: per-episode seeds are splitmix-derived (CampaignConfig.EpisodeSeed)
 // instead of the affine formula, episodes carry scenario provenance, and
 // the scenario mix entered the fingerprint.
-const FormatVersion = 2
+//
+// v3: episodes additionally carry fault-type provenance (Dataset.Faults),
+// the slice dimension evaluation reports break confusion matrices down by.
+const FormatVersion = 3
 
 // Fingerprint hashes the canonicalized campaign configuration (after
 // defaults are filled, so explicit and implicit defaults collide as they

@@ -1,0 +1,164 @@
+package dataset
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// provenanceCampaign generates a small campaign whose scenario mix spans
+// fault-free, single-fault-type, and sensor scenarios, so provenance slices
+// are distinguishable.
+func provenanceCampaign(t *testing.T) *Dataset {
+	t.Helper()
+	mix, err := sim.ParseScenarioMix("nominal:1,overdose:1,suspend:1,sensor_drift:1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := Generate(CampaignConfig{
+		Simulator:          Glucosym,
+		Profiles:           3,
+		EpisodesPerProfile: 4,
+		Steps:              60,
+		Seed:               9,
+		Scenarios:          mix,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// originalEpisode recovers the episode's index in the source dataset from
+// its samples' provenance (Split/Filter copy samples verbatim, EpisodeID
+// included).
+func originalEpisode(t *testing.T, d *Dataset, ep int) int {
+	t.Helper()
+	r := d.EpisodeIndex[ep]
+	if r[1] <= r[0] {
+		t.Fatalf("episode %d is empty", ep)
+	}
+	return d.Samples[r[0]].EpisodeID
+}
+
+func TestGenerateRecordsFaultProvenance(t *testing.T) {
+	ds := provenanceCampaign(t)
+	if len(ds.Faults) != len(ds.EpisodeIndex) || len(ds.Scenarios) != len(ds.EpisodeIndex) {
+		t.Fatalf("provenance misaligned: %d faults, %d scenarios, %d episodes",
+			len(ds.Faults), len(ds.Scenarios), len(ds.EpisodeIndex))
+	}
+	for ep, scen := range ds.Scenarios {
+		switch scen {
+		case sim.ScenarioNominal, sim.ScenarioSensorDrift:
+			if ds.Faults[ep] != "none" {
+				t.Errorf("episode %d (%s): fault %q, want none", ep, scen, ds.Faults[ep])
+			}
+		case sim.ScenarioOverdose, sim.ScenarioSuspend:
+			if ds.Faults[ep] != scen {
+				t.Errorf("episode %d (%s): fault %q, want %s", ep, scen, ds.Faults[ep], scen)
+			}
+		default:
+			t.Errorf("unexpected scenario %q in mix", scen)
+		}
+	}
+}
+
+func TestSplitKeepsProvenanceAligned(t *testing.T) {
+	ds := provenanceCampaign(t)
+	train, test, err := ds.Split(0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, side := range []*Dataset{train, test} {
+		if len(side.Scenarios) != len(side.EpisodeIndex) || len(side.Faults) != len(side.EpisodeIndex) {
+			t.Fatalf("split side misaligned: %d scenarios, %d faults, %d episodes",
+				len(side.Scenarios), len(side.Faults), len(side.EpisodeIndex))
+		}
+		for ep := range side.EpisodeIndex {
+			orig := originalEpisode(t, side, ep)
+			if side.Scenarios[ep] != ds.Scenarios[orig] {
+				t.Errorf("episode %d: scenario %q, original %d had %q",
+					ep, side.Scenarios[ep], orig, ds.Scenarios[orig])
+			}
+			if side.Faults[ep] != ds.Faults[orig] {
+				t.Errorf("episode %d: fault %q, original %d had %q",
+					ep, side.Faults[ep], orig, ds.Faults[orig])
+			}
+		}
+	}
+}
+
+func TestSplitLegacyProvenanceFreeStaysNil(t *testing.T) {
+	ds := provenanceCampaign(t)
+	legacy := *ds
+	legacy.Scenarios = nil // a dataset persisted before provenance existed
+	legacy.Faults = nil
+	train, test, err := legacy.Split(0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, side := range []*Dataset{train, test} {
+		if side.Scenarios != nil || side.Faults != nil {
+			t.Fatalf("legacy split invented provenance: %v / %v", side.Scenarios, side.Faults)
+		}
+	}
+	// The sample partition itself must match the provenance-carrying split.
+	wTrain, wTest, err := ds.Split(0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(train.EpisodeIndex, wTrain.EpisodeIndex) || !reflect.DeepEqual(test.EpisodeIndex, wTest.EpisodeIndex) {
+		t.Fatal("legacy split partitions episodes differently")
+	}
+}
+
+func TestFilterKeepsProvenanceAndNormalizers(t *testing.T) {
+	ds := provenanceCampaign(t)
+	train, test, err := ds.Split(0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := test.Filter(func(ep int) bool { return test.Scenarios[ep] == sim.ScenarioNominal })
+	if len(sub.EpisodeIndex) == 0 {
+		t.Skip("no nominal episode landed in the test split at this seed")
+	}
+	if len(sub.Scenarios) != len(sub.EpisodeIndex) || len(sub.Faults) != len(sub.EpisodeIndex) {
+		t.Fatalf("filter misaligned: %d scenarios, %d faults, %d episodes",
+			len(sub.Scenarios), len(sub.Faults), len(sub.EpisodeIndex))
+	}
+	for ep := range sub.EpisodeIndex {
+		if sub.Scenarios[ep] != sim.ScenarioNominal {
+			t.Errorf("episode %d: scenario %q leaked through the filter", ep, sub.Scenarios[ep])
+		}
+		if sub.Faults[ep] != "none" {
+			t.Errorf("nominal episode %d carries fault %q", ep, sub.Faults[ep])
+		}
+		r := sub.EpisodeIndex[ep]
+		if ep > 0 && r[0] != sub.EpisodeIndex[ep-1][1] {
+			t.Errorf("episode %d not re-indexed contiguously: %v", ep, sub.EpisodeIndex)
+		}
+	}
+	if sub.MLPNorm != test.MLPNorm || sub.SeqNorm != test.SeqNorm {
+		t.Error("filter did not share the source normalizers")
+	}
+	if sub.Len() == test.Len() {
+		t.Error("filter removed nothing despite a mixed test split")
+	}
+
+	// An empty selection is a valid (empty) dataset, not a panic.
+	none := test.Filter(func(int) bool { return false })
+	if none.Len() != 0 || len(none.EpisodeIndex) != 0 {
+		t.Fatalf("empty filter kept %d samples", none.Len())
+	}
+	// Train-side shuffle must not disturb alignment either (train episodes
+	// are shuffled by the split): filter by fault and cross-check.
+	faulty := train.Filter(func(ep int) bool { return train.Faults[ep] != "none" })
+	for ep := range faulty.EpisodeIndex {
+		orig := originalEpisode(t, faulty, ep)
+		if faulty.Faults[ep] != ds.Faults[orig] {
+			t.Errorf("train-filter episode %d: fault %q, original had %q",
+				ep, faulty.Faults[ep], ds.Faults[orig])
+		}
+	}
+}

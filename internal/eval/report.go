@@ -1,0 +1,161 @@
+package eval
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/artifact"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/monitor"
+)
+
+// FormatVersion identifies the evaluation-report artifact encoding and the
+// scoring semantics behind it. Bump it whenever the Report schema, the
+// tolerance-window metric, or the latency definition changes incompatibly —
+// cached reports from older versions then become unreachable and are
+// re-evaluated.
+const FormatVersion = 1
+
+// Slice is one sliced view of an evaluation: the tolerance-window confusion
+// matrix and detection-latency statistics of the episodes sharing a key
+// (a scenario name, a fault type, or "overall").
+type Slice struct {
+	Key       string
+	Episodes  int
+	Samples   int
+	Confusion metrics.Confusion
+	// F1 is Confusion.F1(), denormalized so serialized reports are
+	// self-describing.
+	F1      float64
+	Latency metrics.LatencyStats
+}
+
+// Report is the full evaluation of one monitor on one dataset: the overall
+// confusion matrix plus per-scenario and per-fault-type slices, each with
+// detection-latency aggregation. Reports reduce in episode order and list
+// slices sorted by key, so equal inputs serialize to equal bytes.
+type Report struct {
+	Simulator string
+	Monitor   string
+	Tolerance int
+	Episodes  int
+	Samples   int
+	Overall   Slice
+	Scenarios []Slice
+	Faults    []Slice
+}
+
+// Scenario returns the named scenario slice.
+func (r *Report) Scenario(key string) (Slice, bool) { return findSlice(r.Scenarios, key) }
+
+// Fault returns the named fault-type slice.
+func (r *Report) Fault(key string) (Slice, bool) { return findSlice(r.Faults, key) }
+
+func findSlice(slices []Slice, key string) (Slice, bool) {
+	for _, s := range slices {
+		if s.Key == key {
+			return s, true
+		}
+	}
+	return Slice{}, false
+}
+
+// Save writes the report as JSON. Go's encoder renders float64 values in
+// shortest round-trip form, so Save→Load is bit-exact.
+func (r *Report) Save(w io.Writer) error {
+	if err := json.NewEncoder(w).Encode(r); err != nil {
+		return fmt.Errorf("eval: save report: %w", err)
+	}
+	return nil
+}
+
+// LoadReport reads a report written by Save.
+func LoadReport(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	if err := json.NewDecoder(r).Decode(rep); err != nil {
+		return nil, fmt.Errorf("eval: load report: %w", err)
+	}
+	if rep.Episodes == 0 {
+		return nil, fmt.Errorf("eval: load report: no episodes")
+	}
+	return rep, nil
+}
+
+// ReportConfig addresses an evaluation report by everything that determines
+// its content: the campaign whose test split is evaluated, the split
+// fraction (split shuffle and normalizer fit are deterministic given both),
+// the monitor (name + full training recipe; the zero TrainConfig stands for
+// the untrained rule-based monitor, whose rules derive from the campaign's
+// BGTarget), and the tolerance δ. Worker counts never enter the fingerprint
+// — reports are byte-identical at every parallelism setting.
+type ReportConfig struct {
+	Campaign  dataset.CampaignConfig
+	TrainFrac float64
+	Monitor   string
+	Train     monitor.TrainConfig
+	Tolerance int
+}
+
+// Fingerprint hashes the canonicalized report configuration, mixing in the
+// campaign and monitor format versions so upstream encoding bumps invalidate
+// downstream reports.
+func (c ReportConfig) Fingerprint() uint64 {
+	return artifact.Fingerprint("evalreport", c.Campaign.Fingerprint(),
+		"split", c.TrainFrac, dataset.FormatVersion,
+		c.Monitor, c.Train.Fingerprint(), monitor.FormatVersion,
+		"delta", c.Tolerance)
+}
+
+// ArtifactKey returns the content-addressed cache key of the report this
+// config produces.
+func (c ReportConfig) ArtifactKey() artifact.Key {
+	return artifact.Key{Kind: "evalreport", Version: FormatVersion, Fingerprint: c.Fingerprint()}
+}
+
+// CachedReport returns the evaluation report for cfg, loading it from the
+// artifact store when a current entry exists and computing (then persisting)
+// it otherwise. A nil store always computes. On a hit, compute is never
+// invoked — which is what lets a warm run skip monitor resolution and
+// inference entirely.
+func CachedReport(store artifact.Store, cfg ReportConfig, compute func() (*Report, error)) (rep *Report, hit bool, err error) {
+	if store == nil {
+		rep, err = compute()
+		return rep, false, err
+	}
+	hit, err = store.GetOrCreate(cfg.ArtifactKey(),
+		func(r io.Reader) error {
+			var lerr error
+			rep, lerr = LoadReport(r)
+			return lerr
+		},
+		func() error {
+			var cerr error
+			rep, cerr = compute()
+			return cerr
+		},
+		func(w io.Writer) error { return rep.Save(w) },
+	)
+	return rep, hit, err
+}
+
+// Set bundles the reports of one evaluation surface (e.g. every monitor on
+// both simulators) in a fixed order for rendering and JSON export.
+type Set struct {
+	Tolerance int
+	Reports   []*Report
+}
+
+// Save writes the set as indented JSON (the CLI -out payload).
+func (s *Set) Save(w io.Writer) error {
+	enc, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("eval: save report set: %w", err)
+	}
+	enc = append(enc, '\n')
+	if _, err := w.Write(enc); err != nil {
+		return fmt.Errorf("eval: save report set: %w", err)
+	}
+	return nil
+}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/dataset"
+	"repro/internal/eval"
 	"repro/internal/monitor"
 	"repro/internal/sweep"
 )
@@ -117,25 +118,23 @@ var monitorSpecs = map[string]struct {
 	"lstm_custom": {monitor.ArchLSTM, true},
 }
 
-// trainMonitor resolves one monitor: rule-based monitors are constructed
-// directly (cheaper than any cache), ML monitors go through the artifact
-// store and fall back to training on a miss. Training seeds depend only on
-// the config, so the result is identical whichever sweep cell triggers the
-// run — and bit-identical again when a later process loads the persisted
-// weights.
-func (s *SimAssets) trainMonitor(name string) (monitor.Monitor, error) {
+// trainConfig resolves a monitor name into its training recipe. The
+// rule-based monitor is untrained: it reports ml=false and the zero
+// TrainConfig (its behavior derives entirely from the campaign's BGTarget,
+// which report fingerprints capture through the campaign config).
+func (s *SimAssets) trainConfig(name string) (tc monitor.TrainConfig, ml bool, err error) {
 	if name == "rule_based" {
-		return monitor.NewRuleBased(s.cfg.BGTarget), nil
+		return monitor.TrainConfig{}, false, nil
 	}
 	spec, ok := monitorSpecs[name]
 	if !ok {
-		return nil, fmt.Errorf("experiments: unknown monitor %q (known: %v)", name, MonitorNames)
+		return monitor.TrainConfig{}, false, fmt.Errorf("experiments: unknown monitor %q (known: %v)", name, MonitorNames)
 	}
 	h1, h2 := s.cfg.MLPHidden1, s.cfg.MLPHidden2
 	if spec.arch == monitor.ArchLSTM {
 		h1, h2 = s.cfg.LSTMHidden1, s.cfg.LSTMHidden2
 	}
-	m, _, err := CachedMonitor(ActiveStore(), s.Train, s.campaign, s.cfg.TrainFrac, monitor.TrainConfig{
+	return monitor.TrainConfig{
 		Arch:           spec.arch,
 		Semantic:       spec.semantic,
 		SemanticWeight: s.cfg.SemanticWeight,
@@ -147,11 +146,67 @@ func (s *SimAssets) trainMonitor(name string) (monitor.Monitor, error) {
 		// (Workers never enters the cache fingerprint: weights are
 		// byte-identical at every setting).
 		Workers: Workers(),
-	})
+	}, true, nil
+}
+
+// trainMonitor resolves one monitor: rule-based monitors are constructed
+// directly (cheaper than any cache), ML monitors go through the artifact
+// store and fall back to training on a miss. Training seeds depend only on
+// the config, so the result is identical whichever sweep cell triggers the
+// run — and bit-identical again when a later process loads the persisted
+// weights.
+func (s *SimAssets) trainMonitor(name string) (monitor.Monitor, error) {
+	tc, ml, err := s.trainConfig(name)
+	if err != nil {
+		return nil, err
+	}
+	if !ml {
+		return monitor.NewRuleBased(s.cfg.BGTarget), nil
+	}
+	m, _, err := CachedMonitor(ActiveStore(), s.Train, s.campaign, s.cfg.TrainFrac, tc)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: train %s on %v: %w", name, s.Sim, err)
 	}
 	return m, nil
+}
+
+// ReportConfig addresses the evaluation report of the named monitor on this
+// simulator's test split — computable without resolving the monitor, which
+// is what lets warm report runs skip training and inference entirely.
+func (s *SimAssets) ReportConfig(name string) (eval.ReportConfig, error) {
+	tc, _, err := s.trainConfig(name)
+	if err != nil {
+		return eval.ReportConfig{}, err
+	}
+	return eval.ReportConfig{
+		Campaign:  s.campaign,
+		TrainFrac: s.cfg.TrainFrac,
+		Monitor:   name,
+		Train:     tc,
+		Tolerance: s.cfg.ToleranceDelta,
+	}, nil
+}
+
+// Report returns the sliced evaluation report of the named monitor on this
+// simulator's test split, serving it from the artifact store when a current
+// entry exists (zero monitor inferences) and evaluating — resolving the
+// monitor on the way — otherwise.
+func (s *SimAssets) Report(name string) (*eval.Report, error) {
+	rc, err := s.ReportConfig(name)
+	if err != nil {
+		return nil, err
+	}
+	rep, _, err := eval.CachedReport(ActiveStore(), rc, func() (*eval.Report, error) {
+		m, err := s.Monitor(name)
+		if err != nil {
+			return nil, err
+		}
+		return eval.Evaluate(m, s.Test, eval.Options{Tolerance: s.cfg.ToleranceDelta, Workers: Workers()})
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: report %s on %v: %w", name, s.Sim, err)
+	}
+	return rep, nil
 }
 
 // Assets holds datasets and (lazily trained) monitors for both simulators.

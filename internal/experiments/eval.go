@@ -1,11 +1,11 @@
 package experiments
 
 import (
-	"fmt"
 	"math/rand"
 
 	"repro/internal/attack"
 	"repro/internal/dataset"
+	"repro/internal/eval"
 	"repro/internal/mat"
 	"repro/internal/metrics"
 	"repro/internal/monitor"
@@ -41,15 +41,9 @@ func GaussianScore(m monitor.Monitor, test *dataset.Dataset, sigma float64, seed
 	if err != nil {
 		return metrics.Confusion{}, err
 	}
-	verdicts, err := m.Classify(noisy)
+	pred, err := eval.Predict(m, noisy)
 	if err != nil {
 		return metrics.Confusion{}, err
-	}
-	pred := make([]int, len(verdicts))
-	for i, v := range verdicts {
-		if v.Unsafe {
-			pred[i] = 1
-		}
 	}
 	return ScoreEpisodes(pred, test, delta)
 }
@@ -131,45 +125,33 @@ func Predictions(m monitor.Monitor, test *dataset.Dataset, perturb Perturbation)
 		}
 		return ml.PredictClasses(px)
 	}
-	verdicts, err := m.Classify(test.Samples)
-	if err != nil {
-		return nil, err
-	}
-	pred := make([]int, len(verdicts))
-	for i, v := range verdicts {
-		if v.Unsafe {
-			pred[i] = 1
-		}
-	}
-	return pred, nil
+	return eval.Predict(m, test.Samples)
 }
 
 // ScoreEpisodes computes the tolerance-window confusion matrix (Table II)
-// of per-sample predictions against hazard occurrences, episode by episode.
+// of per-sample predictions against hazard occurrences — a thin adapter
+// over eval.EvaluatePredictions that keeps only the overall slice.
 func ScoreEpisodes(pred []int, test *dataset.Dataset, delta int) (metrics.Confusion, error) {
-	var total metrics.Confusion
-	if len(pred) != test.Len() {
-		return total, fmt.Errorf("experiments: %d predictions for %d samples", len(pred), test.Len())
+	rep, err := eval.EvaluatePredictions("", pred, test, eval.Options{Tolerance: delta, Workers: Workers()})
+	if err != nil {
+		return metrics.Confusion{}, err
 	}
-	for _, r := range test.EpisodeIndex {
-		truth := make([]int, r[1]-r[0])
-		for i := r[0]; i < r[1]; i++ {
-			if test.Samples[i].HazardNow {
-				truth[i-r[0]] = 1
-			}
-		}
-		c, err := metrics.ToleranceWindow(pred[r[0]:r[1]], truth, delta)
-		if err != nil {
-			return total, err
-		}
-		total.Add(c)
-	}
-	return total, nil
+	return rep.Overall.Confusion, nil
 }
 
 // Score evaluates a monitor on the test set under a perturbation and returns
-// the tolerance-window confusion matrix.
+// the tolerance-window confusion matrix. With no perturbation it is the
+// episode-streaming eval path end to end; perturbed scoring assembles the
+// attacked prediction vector first (attacks operate on the full input
+// matrix) and scores it per episode.
 func Score(m monitor.Monitor, test *dataset.Dataset, delta int, perturb Perturbation) (metrics.Confusion, error) {
+	if perturb == nil {
+		rep, err := eval.Evaluate(m, test, eval.Options{Tolerance: delta, Workers: Workers()})
+		if err != nil {
+			return metrics.Confusion{}, err
+		}
+		return rep.Overall.Confusion, nil
+	}
 	pred, err := Predictions(m, test, perturb)
 	if err != nil {
 		return metrics.Confusion{}, err

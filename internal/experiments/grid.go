@@ -24,6 +24,11 @@ const (
 	tagFig9FGSM = 19
 	tagFig10    = 10
 	tagEvasion  = 21
+	// tagReport seeds the per-scenario report sweep. Evaluation draws no
+	// randomness today, but the stream is reserved so a seeded addition
+	// (e.g. bootstrap confidence intervals) cannot correlate with the
+	// figure sweeps.
+	tagReport = 30
 )
 
 // GridCell is one evaluation point of a sim × monitor × level sweep. Seed is

@@ -28,17 +28,17 @@ type Table3Result struct {
 }
 
 // Table3 evaluates all five monitors on both simulators with clean inputs,
-// one (simulator, monitor) pair per sweep cell.
+// one (simulator, monitor) pair per sweep cell — a thin adapter over the
+// eval subsystem, keeping only each report's overall confusion matrix. It
+// shares the report artifact cache with the -report surface, so a warm
+// table3 run performs zero monitor inferences.
 func Table3(a *Assets) (*Table3Result, error) {
 	rows, err := runPairs(a, MonitorNames, tagTable3, func(c *GridCell) (Table3Row, error) {
-		m, err := c.SA.Monitor(c.Monitor)
-		if err != nil {
-			return Table3Row{}, err
-		}
-		conf, err := Score(m, c.SA.Test, a.Config.ToleranceDelta, nil)
+		rep, err := c.SA.Report(c.Monitor)
 		if err != nil {
 			return Table3Row{}, fmt.Errorf("table3: %s on %v: %w", c.Monitor, c.Sim, err)
 		}
+		conf := rep.Overall.Confusion
 		return Table3Row{
 			Simulator:  c.Sim.String(),
 			Monitor:    c.Monitor,

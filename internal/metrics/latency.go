@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DetectionLatency computes the per-episode detection latency of an alarm
+// sequence against the hazard ground truth: the number of samples from the
+// first hazard onset to the first alarm that counts as detecting it.
+//
+// The detection window is [onset−δ, end+δ], where onset..end is the first
+// contiguous hazard run: an alarm inside the δ-window before onset is an
+// on-time detection (latency 0 — the monitor warned before or at the
+// hazard), the first alarm while the hazard persists (or within δ after it
+// clears) yields a positive latency in steps, and alarms outside the window
+// — earlier than onset−δ or more than δ after the hazard has ended — are
+// false alarms, not detections, matching how ToleranceWindow refuses to
+// credit them as true positives. Episodes with no hazard report
+// hazard=false and contribute nothing to latency statistics.
+func DetectionLatency(pred, truth []int, delta int) (latency int, detected, hazard bool, err error) {
+	if len(pred) != len(truth) {
+		return 0, false, false, fmt.Errorf("metrics: %d predictions vs %d truths", len(pred), len(truth))
+	}
+	if delta < 0 {
+		return 0, false, false, fmt.Errorf("metrics: negative tolerance %d", delta)
+	}
+	onset := -1
+	for t, v := range truth {
+		if v > 0 {
+			onset = t
+			break
+		}
+	}
+	if onset < 0 {
+		return 0, false, false, nil
+	}
+	end := onset
+	for end+1 < len(truth) && truth[end+1] > 0 {
+		end++
+	}
+	from := onset - delta
+	if from < 0 {
+		from = 0
+	}
+	to := end + delta
+	if to > len(pred)-1 {
+		to = len(pred) - 1
+	}
+	for t := from; t <= to; t++ {
+		if pred[t] > 0 {
+			lat := t - onset
+			if lat < 0 {
+				lat = 0
+			}
+			return lat, true, true, nil
+		}
+	}
+	return 0, false, true, nil
+}
+
+// LatencyStats aggregates per-episode detection latencies over a set of
+// episodes (a report slice): how many episodes contained a hazard, how many
+// were detected vs missed, and the mean/median/95th-percentile latency of
+// the detections, in steps.
+type LatencyStats struct {
+	Hazards  int
+	Detected int
+	Missed   int
+	Mean     float64
+	P50      float64
+	P95      float64
+}
+
+// SummarizeLatency reduces the per-episode latencies of the detected hazard
+// episodes (any order) plus the count of missed ones into LatencyStats.
+// Percentiles use the deterministic nearest-rank definition on the sorted
+// latencies, so equal inputs always summarize to equal stats.
+func SummarizeLatency(latencies []int, missed int) LatencyStats {
+	s := LatencyStats{
+		Hazards:  len(latencies) + missed,
+		Detected: len(latencies),
+		Missed:   missed,
+	}
+	if len(latencies) == 0 {
+		return s
+	}
+	sorted := append([]int(nil), latencies...)
+	sort.Ints(sorted)
+	sum := 0
+	for _, l := range sorted {
+		sum += l
+	}
+	s.Mean = float64(sum) / float64(len(sorted))
+	s.P50 = float64(percentile(sorted, 0.50))
+	s.P95 = float64(percentile(sorted, 0.95))
+	return s
+}
+
+// percentile is the nearest-rank percentile of a sorted slice: the smallest
+// value with at least q·n values ≤ it.
+func percentile(sorted []int, q float64) int {
+	n := len(sorted)
+	rank := int(math.Ceil(float64(n) * q))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}

@@ -1,0 +1,133 @@
+package metrics
+
+import "testing"
+
+func TestDetectionLatency(t *testing.T) {
+	cases := []struct {
+		name     string
+		pred     []int
+		truth    []int
+		delta    int
+		latency  int
+		detected bool
+		hazard   bool
+	}{
+		{
+			name:  "no hazard",
+			pred:  []int{0, 1, 0, 0},
+			truth: []int{0, 0, 0, 0},
+			delta: 2,
+		},
+		{
+			name:     "alarm at onset",
+			pred:     []int{0, 0, 1, 0},
+			truth:    []int{0, 0, 1, 1},
+			delta:    2,
+			latency:  0,
+			detected: true,
+			hazard:   true,
+		},
+		{
+			name: "early warning inside the tolerance window counts as latency 0",
+			pred: []int{0, 1, 0, 0, 0},
+			truth: []int{
+				0, 0, 0, 1, 1},
+			delta:    2,
+			latency:  0,
+			detected: true,
+			hazard:   true,
+		},
+		{
+			name:     "late alarm yields positive latency",
+			pred:     []int{0, 0, 0, 0, 0, 1},
+			truth:    []int{0, 0, 1, 1, 1, 1},
+			delta:    1,
+			latency:  3,
+			detected: true,
+			hazard:   true,
+		},
+		{
+			name:   "alarm earlier than onset-delta is a false alarm, not a detection",
+			pred:   []int{1, 0, 0, 0, 0},
+			truth:  []int{0, 0, 0, 0, 1},
+			delta:  2,
+			hazard: true,
+		},
+		{
+			name:   "alarm more than delta after the hazard cleared is a false alarm, not a detection",
+			pred:   []int{0, 0, 0, 0, 0, 0, 1, 0},
+			truth:  []int{0, 0, 1, 1, 0, 0, 0, 0},
+			delta:  1,
+			hazard: true,
+		},
+		{
+			name:     "alarm while the hazard persists detects it, however long it ran",
+			pred:     []int{0, 0, 0, 0, 0, 0, 1, 0},
+			truth:    []int{0, 0, 1, 1, 1, 1, 1, 1},
+			delta:    1,
+			latency:  4,
+			detected: true,
+			hazard:   true,
+		},
+		{
+			name:   "no alarm at all is a miss",
+			pred:   []int{0, 0, 0, 0},
+			truth:  []int{0, 1, 1, 1},
+			delta:  2,
+			hazard: true,
+		},
+	}
+	for _, tc := range cases {
+		lat, detected, hazard, err := DetectionLatency(tc.pred, tc.truth, tc.delta)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if lat != tc.latency || detected != tc.detected || hazard != tc.hazard {
+			t.Errorf("%s: got (lat=%d detected=%v hazard=%v), want (lat=%d detected=%v hazard=%v)",
+				tc.name, lat, detected, hazard, tc.latency, tc.detected, tc.hazard)
+		}
+	}
+
+	if _, _, _, err := DetectionLatency([]int{1}, []int{1, 0}, 1); err == nil {
+		t.Error("length mismatch did not error")
+	}
+	if _, _, _, err := DetectionLatency([]int{1}, []int{1}, -1); err == nil {
+		t.Error("negative tolerance did not error")
+	}
+}
+
+func TestSummarizeLatency(t *testing.T) {
+	s := SummarizeLatency([]int{5, 1, 3}, 1)
+	if s.Hazards != 4 || s.Detected != 3 || s.Missed != 1 {
+		t.Fatalf("counts = %+v", s)
+	}
+	if s.Mean != 3 {
+		t.Errorf("mean = %v, want 3", s.Mean)
+	}
+	if s.P50 != 3 {
+		t.Errorf("p50 = %v, want 3", s.P50)
+	}
+	if s.P95 != 5 {
+		t.Errorf("p95 = %v, want 5", s.P95)
+	}
+
+	// Summaries must not mutate or depend on caller ordering.
+	a := SummarizeLatency([]int{9, 0, 2, 2}, 0)
+	b := SummarizeLatency([]int{2, 2, 0, 9}, 0)
+	if a != b {
+		t.Errorf("order-dependent summary: %+v vs %+v", a, b)
+	}
+
+	empty := SummarizeLatency(nil, 2)
+	if empty.Hazards != 2 || empty.Detected != 0 || empty.Missed != 2 {
+		t.Fatalf("empty counts = %+v", empty)
+	}
+	if empty.Mean != 0 || empty.P50 != 0 || empty.P95 != 0 {
+		t.Errorf("empty stats nonzero: %+v", empty)
+	}
+
+	one := SummarizeLatency([]int{7}, 0)
+	if one.Mean != 7 || one.P50 != 7 || one.P95 != 7 {
+		t.Errorf("single-episode stats = %+v", one)
+	}
+}
