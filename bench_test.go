@@ -663,3 +663,50 @@ func BenchmarkEvaluate(b *testing.B) {
 	b.Run("serial", func(b *testing.B) { benchEvaluate(b, 1) })
 	b.Run("parallel8", func(b *testing.B) { benchEvaluate(b, 8) })
 }
+
+// benchInfer measures one full test-set classification pass of a trained
+// MLP monitor through either the frozen float32 engine (the -precision f32
+// fast path, including the per-call f64→f32 input quantization it pays in
+// production) or the canonical f64 model, at a fixed worker count.
+func benchInfer(b *testing.B, workers int, f32 bool) {
+	b.Helper()
+	a := assets(b)
+	sa := a.Sims[dataset.Glucosym]
+	m, err := sa.MLMonitor("mlp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	x, err := m.InputMatrix(sa.Test.Samples)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mat.SetParallelism(workers)
+	sweep.SetBudget(workers)
+	defer func() {
+		mat.SetParallelism(0)
+		sweep.SetBudget(0)
+	}()
+	predict := m.PredictClasses
+	if f32 {
+		predict = m.PredictClassesF32
+		if _, err := m.Frozen(); err != nil { // one-time freeze outside the timer
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := predict(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInferF32 is the float32 inference engine's headline number:
+// serial and 8-way frozen-twin classification of the bench test set, with
+// the canonical f64 path (f64twin) as the in-run comparison point. Gated in
+// CI against BENCH_BASELINE.json.
+func BenchmarkInferF32(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchInfer(b, 1, true) })
+	b.Run("parallel8", func(b *testing.B) { benchInfer(b, 8, true) })
+	b.Run("f64twin", func(b *testing.B) { benchInfer(b, 1, false) })
+}

@@ -6,7 +6,14 @@
 //
 //	apsattack [-sim glucosym|t1ds] [-arch mlp|lstm] [-semantic]
 //	          [-attack gaussian|fgsm|pgd|blackbox] [-level σ|ε]
-//	          [-parallel N] [-cache DIR] [-no-cache]
+//	          [-report] [-report-out report.json]
+//	          [-parallel N] [-precision f64|f32] [-cache DIR] [-no-cache]
+//
+// -report renders the sliced evaluation reports (per-scenario and
+// per-fault-type F1 + detection latency) of the clean monitor and of the
+// attacked predictions side by side, so degradation can be localized to the
+// campaign slice it hits; -report-out additionally writes the report set as
+// JSON.
 //
 // The campaign and the target monitor are cached content-addressed under
 // -cache (default $APSREPRO_CACHE or ~/.cache/apsrepro), so repeated attack
@@ -15,22 +22,27 @@
 //
 // -parallel N sets the worker budget shared by monitor training (the
 // minibatch block pipeline), matrix products, and sweeps; trained weights
-// and attack outputs are byte-identical at every setting. The pgd attack
-// threads the semantic knowledge indicators through every gradient step
-// when the target was trained with -semantic, so Custom monitors are
-// attacked on the Eq (2) loss surface they were trained on.
+// and attack outputs are byte-identical at every setting. -precision f32
+// routes monitor inference (clean scoring and the attacked-prediction
+// passes) through the frozen float32 engine; gradient-based attack crafting
+// stays on the f64 training model. The pgd attack threads the semantic
+// knowledge indicators through every gradient step when the target was
+// trained with -semantic, so Custom monitors are attacked on the Eq (2)
+// loss surface they were trained on.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
 	"runtime"
 
 	"repro/internal/artifact"
 	"repro/internal/attack"
 	"repro/internal/dataset"
+	"repro/internal/eval"
 	"repro/internal/experiments"
 	"repro/internal/mat"
 	"repro/internal/metrics"
@@ -55,11 +67,20 @@ func run() error {
 	level := flag.Float64("level", 0.1, "σ (gaussian) or ε (fgsm/pgd/blackbox)")
 	epochs := flag.Int("epochs", 15, "training epochs")
 	seed := flag.Int64("seed", 1, "seed")
+	report := flag.Bool("report", false, "render clean and attacked sliced evaluation reports")
+	reportOut := flag.String("report-out", "", "write the JSON report set here (implies -report)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for training and matrix products (1 = serial)")
+	precision := flag.String("precision", "f64", "monitor inference arithmetic: f64 (canonical) or f32 (frozen fast path; attack gradients stay f64)")
 	cache := artifact.AddFlags(flag.CommandLine)
 	flag.Parse()
 	if *parallel < 1 {
 		return fmt.Errorf("-parallel %d, want >= 1", *parallel)
+	}
+	if err := experiments.SetPrecision(*precision); err != nil {
+		return err
+	}
+	if *reportOut != "" {
+		*report = true
 	}
 	// The experiments-level worker knob also drives the scoring adapters
 	// (Score/ScoreEpisodes fan episodes out through it), so -parallel 1
@@ -113,15 +134,41 @@ func run() error {
 		return err
 	}
 
-	clean, err := experiments.Score(m, test, 12, nil)
-	if err != nil {
-		return err
+	const delta = 12
+	opts := eval.Options{Tolerance: delta, Workers: *parallel, Precision: experiments.Precision()}
+
+	// Report mode evaluates the clean pass exactly once: the sliced report's
+	// overall confusion also supplies the summary line.
+	var cleanRep *eval.Report
+	var clean metrics.Confusion
+	if *report {
+		cleanRep, err = eval.Evaluate(m, test, opts)
+		if err != nil {
+			return err
+		}
+		clean = cleanRep.Overall.Confusion
+	} else {
+		clean, err = experiments.Score(m, test, delta, nil)
+		if err != nil {
+			return err
+		}
 	}
 	fmt.Printf("monitor %s on %s: clean F1=%.3f ACC=%.3f\n", m.Name(), simu, clean.F1(), clean.Accuracy())
 
+	// Every arm produces the attacked per-sample prediction vector, so the
+	// sliced attacked report comes from the same pass as the summary line.
+	var advPred []int
 	switch *kind {
 	case "gaussian":
-		c, err := experiments.GaussianScore(m, test, *level, *seed+5, 12)
+		noisy, err := dataset.GaussianNoisySamples(rand.New(rand.NewSource(*seed+5)), test, *level)
+		if err != nil {
+			return err
+		}
+		advPred, err = experiments.PredictSamples(m, noisy)
+		if err != nil {
+			return err
+		}
+		c, err := experiments.ScoreEpisodes(advPred, test, delta)
 		if err != nil {
 			return err
 		}
@@ -134,7 +181,11 @@ func run() error {
 	case "fgsm":
 		labels := test.Labels()
 		p := experiments.FGSMPerturbation(m, labels, *level)
-		c, err := experiments.Score(m, test, 12, p)
+		advPred, err = experiments.Predictions(m, test, p)
+		if err != nil {
+			return err
+		}
+		c, err := experiments.ScoreEpisodes(advPred, test, delta)
 		if err != nil {
 			return err
 		}
@@ -147,7 +198,11 @@ func run() error {
 	case "pgd":
 		labels := test.Labels()
 		p := experiments.PGDPerturbation(m, labels, test.Knowledge(), attack.PGDConfig{Eps: *level})
-		c, err := experiments.Score(m, test, 12, p)
+		advPred, err = experiments.Predictions(m, test, p)
+		if err != nil {
+			return err
+		}
+		c, err := experiments.ScoreEpisodes(advPred, test, delta)
 		if err != nil {
 			return err
 		}
@@ -162,7 +217,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		qPred, err := m.PredictClasses(qx)
+		qPred, err := experiments.PredictMatrixClasses(m, qx)
 		if err != nil {
 			return err
 		}
@@ -174,7 +229,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		tPred, err := m.PredictClasses(tx)
+		tPred, err := experiments.PredictMatrixClasses(m, tx)
 		if err != nil {
 			return err
 		}
@@ -182,7 +237,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		advPred, err := m.PredictClasses(adv)
+		advPred, err = experiments.PredictMatrixClasses(m, adv)
 		if err != nil {
 			return err
 		}
@@ -193,6 +248,26 @@ func run() error {
 		fmt.Printf("black-box FGSM ε=%.2f (substitute transfer): robustness error=%.3f\n", *level, re)
 	default:
 		return fmt.Errorf("unknown attack %q", *kind)
+	}
+
+	if *report {
+		advRep, err := eval.EvaluatePredictions(fmt.Sprintf("%s+%s@%.2f", m.Name(), *kind, *level), advPred, test, opts)
+		if err != nil {
+			return err
+		}
+		set := &eval.Set{Tolerance: delta, Reports: []*eval.Report{cleanRep, advRep}}
+		fmt.Print(experiments.RenderReportSet(set))
+		if *reportOut != "" {
+			f, err := os.Create(*reportOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := set.Save(f); err != nil {
+				return err
+			}
+			fmt.Printf("report set written to %s\n", *reportOut)
+		}
 	}
 	return nil
 }

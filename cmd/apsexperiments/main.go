@@ -4,7 +4,8 @@
 //
 //	apsexperiments [-exp table3|fig1b|fig2|...|all] [-scale bench|default|paper]
 //	               [-profiles N] [-episodes N] [-steps N] [-epochs N] [-seed N]
-//	               [-scenarios MIX] [-parallel N] [-cache DIR] [-no-cache]
+//	               [-scenarios MIX] [-parallel N] [-precision f64|f32]
+//	               [-cache DIR] [-no-cache]
 //	apsexperiments -report [-out report.json] [same flags]
 //
 // -report renders the unified evaluation report instead of the figure
@@ -26,6 +27,11 @@
 // budget that keeps the two layers from multiplying. Output is byte-identical
 // for any worker count: per-cell RNG seeds derive from the config seed and
 // the cell index, never from scheduling.
+//
+// -precision f32 routes monitor inference through the frozen float32 engine
+// (training stays f64). Unlike -parallel it may change results — by float32
+// rounding — so f32 reports are cached under distinct keys; at a fixed
+// precision, output remains byte-identical across -parallel settings.
 //
 // Generated campaigns and trained monitors are cached content-addressed
 // under -cache (default $APSREPRO_CACHE or ~/.cache/apsrepro), so a second
@@ -69,11 +75,15 @@ func run() error {
 	scenarios := flag.String("scenarios", "", "override: campaign scenario mix, e.g. 'nominal:1,random_fault:1,sensor_drift:0.5' (see README)")
 	weight := flag.Float64("semantic-weight", 0, "override: semantic loss weight w")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for sweeps and matrix products (1 = serial)")
+	precision := flag.String("precision", "f64", "inference arithmetic: f64 (canonical) or f32 (frozen fast path)")
 	cache := artifact.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *parallel < 1 {
 		return fmt.Errorf("-parallel %d, want >= 1", *parallel)
+	}
+	if err := experiments.SetPrecision(*precision); err != nil {
+		return err
 	}
 	if *out != "" {
 		*report = true // -out has no meaning without the report surface

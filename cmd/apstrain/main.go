@@ -7,7 +7,7 @@
 //	apstrain [-sim glucosym|t1ds] [-arch mlp|lstm] [-semantic] [-epochs N]
 //	         [-profiles N] [-episodes N] [-steps N] [-out model.json]
 //	         [-report] [-report-out report.json]
-//	         [-parallel N] [-cache DIR] [-no-cache]
+//	         [-parallel N] [-precision f64|f32] [-cache DIR] [-no-cache]
 //
 // -report renders the monitor's per-scenario and per-fault-type evaluation
 // report (F1 + detection latency per slice) on the test split; -report-out
@@ -74,10 +74,14 @@ func run() error {
 	report := flag.Bool("report", false, "render the per-scenario/per-fault evaluation report on the test split")
 	reportOut := flag.String("report-out", "", "write the JSON evaluation report here (implies -report)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for training and matrix products (1 = serial)")
+	precision := flag.String("precision", "f64", "evaluation inference arithmetic: f64 (canonical) or f32 (frozen fast path; training stays f64)")
 	cache := artifact.AddFlags(flag.CommandLine)
 	flag.Parse()
 	if *parallel < 1 {
 		return fmt.Errorf("-parallel %d, want >= 1", *parallel)
+	}
+	if err := experiments.SetPrecision(*precision); err != nil {
+		return err
 	}
 	// The experiments-level worker knob also drives the scoring adapters
 	// (Score/ScoreEpisodes fan episodes out through it), so -parallel 1
@@ -163,9 +167,10 @@ func run() error {
 			Monitor:   m.Name(),
 			Train:     tc,
 			Tolerance: delta,
+			Precision: experiments.Precision(),
 		}
 		rep, hit, err := eval.CachedReport(store, rc, func() (*eval.Report, error) {
-			return eval.Evaluate(m, test, eval.Options{Tolerance: delta, Workers: *parallel})
+			return eval.Evaluate(m, test, eval.Options{Tolerance: delta, Workers: *parallel, Precision: experiments.Precision()})
 		})
 		if err != nil {
 			return err

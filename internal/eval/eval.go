@@ -42,6 +42,33 @@ type Options struct {
 	// carry state across episodes, so per-episode batching is part of
 	// their semantics).
 	Workers int
+	// Precision selects the inference arithmetic: "" or "f64" is the
+	// canonical double-precision path; "f32" routes monitors implementing
+	// monitor.F32Classifier through their frozen float32 engine (monitors
+	// without one — e.g. rule_based, which has no arithmetic to quantize —
+	// fall back to f64). Unlike Workers, precision changes report contents
+	// (by float32 rounding), so it is part of the report fingerprint.
+	Precision string
+}
+
+// Precision names accepted by Options.Precision and ReportConfig.Precision.
+const (
+	PrecisionF64 = "f64"
+	PrecisionF32 = "f32"
+)
+
+// NormalizePrecision canonicalizes a precision name: "" and "f64" mean the
+// double-precision path, "f32" the frozen float32 path; anything else is an
+// error.
+func NormalizePrecision(p string) (string, error) {
+	switch p {
+	case "", PrecisionF64:
+		return PrecisionF64, nil
+	case PrecisionF32:
+		return PrecisionF32, nil
+	default:
+		return "", fmt.Errorf("eval: unknown precision %q (want %s or %s)", p, PrecisionF64, PrecisionF32)
+	}
 }
 
 // BinaryPredictions converts monitor verdicts into the 0/1 prediction vector
@@ -75,8 +102,22 @@ func Predict(m monitor.Monitor, samples []dataset.Sample) ([]int, error) {
 // episodes at Workers > 1 — see Options.Workers for the concurrency
 // contract this places on the monitor.
 func Evaluate(m monitor.Monitor, ds *dataset.Dataset, opts Options) (*Report, error) {
+	precision, err := NormalizePrecision(opts.Precision)
+	if err != nil {
+		return nil, err
+	}
+	classify := m.Classify
+	if precision == PrecisionF32 {
+		if f32, ok := m.(monitor.F32Classifier); ok {
+			classify = f32.ClassifyF32
+		}
+	}
 	return evaluate(m.Name(), ds, opts, func(_ int, samples []dataset.Sample) ([]int, error) {
-		return Predict(m, samples)
+		verdicts, err := classify(samples)
+		if err != nil {
+			return nil, err
+		}
+		return BinaryPredictions(verdicts), nil
 	})
 }
 

@@ -96,16 +96,29 @@ type ReportConfig struct {
 	Monitor   string
 	Train     monitor.TrainConfig
 	Tolerance int
+	// Precision is the inference arithmetic the report was scored with (""
+	// and "f64" are the same canonical path). f32 reports differ from f64
+	// ones by float32 rounding, so non-default precision enters the
+	// fingerprint.
+	Precision string
 }
 
 // Fingerprint hashes the canonicalized report configuration, mixing in the
 // campaign and monitor format versions so upstream encoding bumps invalidate
 // downstream reports.
 func (c ReportConfig) Fingerprint() uint64 {
-	return artifact.Fingerprint("evalreport", c.Campaign.Fingerprint(),
+	parts := []any{"evalreport", c.Campaign.Fingerprint(),
 		"split", c.TrainFrac, dataset.FormatVersion,
 		c.Monitor, c.Train.Fingerprint(), monitor.FormatVersion,
-		"delta", c.Tolerance)
+		"delta", c.Tolerance}
+	// The canonical f64 path is deliberately not mixed in, so reports cached
+	// before precision existed stay addressable.
+	if p, err := NormalizePrecision(c.Precision); err == nil && p != PrecisionF64 {
+		parts = append(parts, "precision", p)
+	} else if err != nil {
+		parts = append(parts, "precision", c.Precision)
+	}
+	return artifact.Fingerprint(parts...)
 }
 
 // ArtifactKey returns the content-addressed cache key of the report this

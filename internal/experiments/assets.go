@@ -38,6 +38,31 @@ func SetWorkers(n int) {
 // Workers returns the configured sweep fan-out (0 = GOMAXPROCS).
 func Workers() int { return int(workerCount.Load()) }
 
+// precisionMode holds the configured inference precision (empty = f64).
+var precisionMode atomic.Value // string
+
+// SetPrecision selects the inference arithmetic for every evaluation and
+// attack surface: eval.PrecisionF64 (the default, bit-deterministic) or
+// eval.PrecisionF32 (the frozen float32 fast path). Like Workers it is a
+// process-wide knob, but unlike Workers it changes report contents (by
+// float32 rounding), so it enters report fingerprints.
+func SetPrecision(p string) error {
+	norm, err := eval.NormalizePrecision(p)
+	if err != nil {
+		return err
+	}
+	precisionMode.Store(norm)
+	return nil
+}
+
+// Precision returns the configured inference precision.
+func Precision() string {
+	if p, ok := precisionMode.Load().(string); ok {
+		return p
+	}
+	return eval.PrecisionF64
+}
+
 // monitorEntry is one lazily-trained monitor slot: the sync.Once guarantees
 // exactly one training run per (simulator, monitor) key no matter how many
 // sweep cells request it concurrently.
@@ -184,6 +209,7 @@ func (s *SimAssets) ReportConfig(name string) (eval.ReportConfig, error) {
 		Monitor:   name,
 		Train:     tc,
 		Tolerance: s.cfg.ToleranceDelta,
+		Precision: Precision(),
 	}, nil
 }
 
@@ -201,7 +227,7 @@ func (s *SimAssets) Report(name string) (*eval.Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		return eval.Evaluate(m, s.Test, eval.Options{Tolerance: s.cfg.ToleranceDelta, Workers: Workers()})
+		return eval.Evaluate(m, s.Test, eval.Options{Tolerance: s.cfg.ToleranceDelta, Workers: Workers(), Precision: Precision()})
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: report %s on %v: %w", name, s.Sim, err)

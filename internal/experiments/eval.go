@@ -14,6 +14,31 @@ import (
 // Perturbation transforms a monitor's assembled (normalized) input matrix.
 type Perturbation func(x *mat.Matrix) (*mat.Matrix, error)
 
+// PredictSamples classifies samples into 0/1 predictions under the
+// configured precision: the frozen float32 path when SetPrecision selected
+// it and the monitor provides one, the canonical f64 path otherwise.
+func PredictSamples(m monitor.Monitor, samples []dataset.Sample) ([]int, error) {
+	if Precision() == eval.PrecisionF32 {
+		if f32, ok := m.(monitor.F32Classifier); ok {
+			verdicts, err := f32.ClassifyF32(samples)
+			if err != nil {
+				return nil, err
+			}
+			return eval.BinaryPredictions(verdicts), nil
+		}
+	}
+	return eval.Predict(m, samples)
+}
+
+// PredictMatrixClasses runs an ML monitor over a pre-assembled input matrix
+// under the configured precision.
+func PredictMatrixClasses(m *monitor.MLMonitor, x *mat.Matrix) ([]int, error) {
+	if Precision() == eval.PrecisionF32 {
+		return m.PredictClassesF32(x)
+	}
+	return m.PredictClasses(x)
+}
+
 // NoPerturbation passes inputs through unchanged.
 func NoPerturbation(x *mat.Matrix) (*mat.Matrix, error) { return x, nil }
 
@@ -41,7 +66,7 @@ func GaussianScore(m monitor.Monitor, test *dataset.Dataset, sigma float64, seed
 	if err != nil {
 		return metrics.Confusion{}, err
 	}
-	pred, err := eval.Predict(m, noisy)
+	pred, err := PredictSamples(m, noisy)
 	if err != nil {
 		return metrics.Confusion{}, err
 	}
@@ -60,7 +85,7 @@ func GaussianRobustness(m *monitor.MLMonitor, test *dataset.Dataset, sigma float
 	if err != nil {
 		return 0, err
 	}
-	orig, err := m.PredictClasses(xc)
+	orig, err := PredictMatrixClasses(m, xc)
 	if err != nil {
 		return 0, err
 	}
@@ -68,7 +93,7 @@ func GaussianRobustness(m *monitor.MLMonitor, test *dataset.Dataset, sigma float
 	if err != nil {
 		return 0, err
 	}
-	pert, err := m.PredictClasses(xn)
+	pert, err := PredictMatrixClasses(m, xn)
 	if err != nil {
 		return 0, err
 	}
@@ -123,9 +148,9 @@ func Predictions(m monitor.Monitor, test *dataset.Dataset, perturb Perturbation)
 		if err != nil {
 			return nil, err
 		}
-		return ml.PredictClasses(px)
+		return PredictMatrixClasses(ml, px)
 	}
-	return eval.Predict(m, test.Samples)
+	return PredictSamples(m, test.Samples)
 }
 
 // ScoreEpisodes computes the tolerance-window confusion matrix (Table II)
@@ -146,7 +171,7 @@ func ScoreEpisodes(pred []int, test *dataset.Dataset, delta int) (metrics.Confus
 // matrix) and scores it per episode.
 func Score(m monitor.Monitor, test *dataset.Dataset, delta int, perturb Perturbation) (metrics.Confusion, error) {
 	if perturb == nil {
-		rep, err := eval.Evaluate(m, test, eval.Options{Tolerance: delta, Workers: Workers()})
+		rep, err := eval.Evaluate(m, test, eval.Options{Tolerance: delta, Workers: Workers(), Precision: Precision()})
 		if err != nil {
 			return metrics.Confusion{}, err
 		}
@@ -166,7 +191,7 @@ func RobustnessError(m *monitor.MLMonitor, test *dataset.Dataset, perturb Pertur
 	if err != nil {
 		return 0, err
 	}
-	orig, err := m.PredictClasses(x)
+	orig, err := PredictMatrixClasses(m, x)
 	if err != nil {
 		return 0, err
 	}
@@ -174,7 +199,7 @@ func RobustnessError(m *monitor.MLMonitor, test *dataset.Dataset, perturb Pertur
 	if err != nil {
 		return 0, err
 	}
-	pert, err := m.PredictClasses(px)
+	pert, err := PredictMatrixClasses(m, px)
 	if err != nil {
 		return 0, err
 	}

@@ -9,6 +9,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"repro/internal/sweep"
 )
 
 // ErrShape is returned (wrapped) by operations whose operand shapes do not
@@ -176,15 +178,20 @@ func MatMulInto(dst, a, b *Matrix) error {
 	return nil
 }
 
+// matMulDispatch fans the product out across row blocks when it is large
+// enough and the shared sweep budget grants workers. The kernel closure is
+// built only inside the granted branch, so the serial hot path — small
+// products, drained budget, parallelism 1 — allocates nothing.
 func matMulDispatch(out, a, b *Matrix) {
-	workers := Parallelism()
-	if workers > 1 && a.rows*a.cols*b.cols >= parallelFlopCutoff {
-		parallelRowBlocks(a.rows, workers, func(lo, hi int) {
-			matMulRows(out, a, b, lo, hi)
-		})
-	} else {
-		matMulRows(out, a, b, 0, a.rows)
+	rows := a.rows
+	if workers := planWorkers(rows, rows*a.cols*b.cols); workers > 1 {
+		if granted := sweep.AcquireWorkers(workers - 1); granted > 0 {
+			runRowBlocks(rows, granted+1, func(lo, hi int) { matMulRows(out, a, b, lo, hi) })
+			sweep.ReleaseWorkers(granted)
+			return
+		}
 	}
+	matMulRows(out, a, b, 0, rows)
 }
 
 // MatMulT returns a × bᵀ, with the same row-blocked parallel path as MatMul.
@@ -211,15 +218,17 @@ func MatMulTInto(dst, a, b *Matrix) error {
 	return nil
 }
 
+// matMulTDispatch is matMulDispatch for out = a × bᵀ.
 func matMulTDispatch(out, a, b *Matrix) {
-	workers := Parallelism()
-	if workers > 1 && a.rows*a.cols*b.rows >= parallelFlopCutoff {
-		parallelRowBlocks(a.rows, workers, func(lo, hi int) {
-			matMulTRows(out, a, b, lo, hi)
-		})
-	} else {
-		matMulTRows(out, a, b, 0, a.rows)
+	rows := a.rows
+	if workers := planWorkers(rows, rows*a.cols*b.rows); workers > 1 {
+		if granted := sweep.AcquireWorkers(workers - 1); granted > 0 {
+			runRowBlocks(rows, granted+1, func(lo, hi int) { matMulTRows(out, a, b, lo, hi) })
+			sweep.ReleaseWorkers(granted)
+			return
+		}
 	}
+	matMulTRows(out, a, b, 0, rows)
 }
 
 // TMatMul returns aᵀ × b. The product stays on the calling goroutine: its

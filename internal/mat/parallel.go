@@ -4,8 +4,6 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
-
-	"repro/internal/sweep"
 )
 
 // parallelism holds the configured worker count for blocked matrix products;
@@ -37,28 +35,38 @@ func Parallelism() int {
 // dominates. 1<<16 ≈ a 64×64 × 64×16 product.
 const parallelFlopCutoff = 1 << 16
 
-// parallelRowBlocks splits [0, rows) into one contiguous block per worker
-// and runs body on each block concurrently. body must only write state owned
-// by its row range.
-//
-// The fan-out draws extra workers from the shared sweep budget, so nested
-// parallelism no longer multiplies: when all budget tokens are held by
-// concurrent sweep cells (the warm-cache inference fan-out), the product
-// runs serially on the calling goroutine, and total worker goroutines stay
-// at ~budget instead of budget². Every row is computed with the same
-// arithmetic order regardless of blocking, so results are byte-identical
-// at any grant.
-func parallelRowBlocks(rows, workers int, body func(lo, hi int)) {
+// planWorkers returns how many workers a product with the given output rows
+// and multiply-accumulate count should try to fan out over; 1 means run
+// serial. The count is clamped by flops so every spawned worker owns at
+// least one cutoff's worth of work — a product barely over the line runs
+// serially instead of waking workers for sub-microsecond row blocks.
+func planWorkers(rows, flops int) int {
+	if flops < parallelFlopCutoff {
+		return 1
+	}
+	workers := Parallelism()
+	if limit := flops / parallelFlopCutoff; workers > limit {
+		workers = limit
+	}
 	if workers > rows {
 		workers = rows
 	}
-	granted := sweep.AcquireWorkers(workers - 1)
-	defer sweep.ReleaseWorkers(granted)
-	workers = granted + 1
-	if workers == 1 {
-		body(0, rows)
-		return
+	if workers < 1 {
+		workers = 1
 	}
+	return workers
+}
+
+// runRowBlocks splits [0, rows) into one contiguous block per worker and
+// runs body on each block concurrently, block 0 on the calling goroutine.
+// body must only write state owned by its row range. Callers hold the sweep
+// grant, so nested parallelism never multiplies: when all budget tokens are
+// held by concurrent sweep cells (the warm-cache inference fan-out), the
+// product runs serially on the calling goroutine, and total worker
+// goroutines stay at ~budget instead of budget². Every row is computed with
+// the same arithmetic order regardless of blocking, so results are
+// byte-identical at any grant.
+func runRowBlocks(rows, workers int, body func(lo, hi int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers - 1)
 	for w := 1; w < workers; w++ {

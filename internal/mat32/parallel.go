@@ -1,0 +1,84 @@
+package mat32
+
+import (
+	"sync"
+
+	"repro/internal/mat"
+	"repro/internal/sweep"
+)
+
+// parallelFlopCutoff is the minimum multiply-accumulate count at which a
+// goroutine fan-out pays for itself, matching internal/mat. The fan-out is
+// additionally clamped so every spawned worker owns at least one cutoff's
+// worth of flops — a product barely over the line runs serially rather than
+// waking workers for sub-microsecond row blocks.
+const parallelFlopCutoff = 1 << 16
+
+// planWorkers returns how many workers a rows×(flops) product should try to
+// fan out over; 1 means run serial. The count comes from the one
+// process-wide knob (mat.SetParallelism — the f64 and f32 kernels share it),
+// clamped by flops and rows.
+func planWorkers(rows, flops int) int {
+	if flops < parallelFlopCutoff {
+		return 1
+	}
+	workers := mat.Parallelism()
+	if limit := flops / parallelFlopCutoff; workers > limit {
+		workers = limit
+	}
+	if workers > rows {
+		workers = rows
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// matMulDispatch runs out = a × b, fanning out across row blocks when the
+// product is large enough and the shared sweep budget grants workers. The
+// kernel closure is built only inside the granted branch, so the serial hot
+// path — small products, drained budget, parallelism 1 — allocates nothing.
+func matMulDispatch(out, a, b *Matrix) {
+	rows := a.rows
+	if workers := planWorkers(rows, rows*a.cols*b.cols); workers > 1 {
+		if granted := sweep.AcquireWorkers(workers - 1); granted > 0 {
+			runRowBlocks(rows, granted+1, func(lo, hi int) { matMulRows(out, a, b, lo, hi) })
+			sweep.ReleaseWorkers(granted)
+			return
+		}
+	}
+	matMulRows(out, a, b, 0, rows)
+}
+
+// matMulTDispatch is matMulDispatch for out = a × bᵀ.
+func matMulTDispatch(out, a, b *Matrix) {
+	rows := a.rows
+	if workers := planWorkers(rows, rows*a.cols*b.rows); workers > 1 {
+		if granted := sweep.AcquireWorkers(workers - 1); granted > 0 {
+			runRowBlocks(rows, granted+1, func(lo, hi int) { matMulTRows(out, a, b, lo, hi) })
+			sweep.ReleaseWorkers(granted)
+			return
+		}
+	}
+	matMulTRows(out, a, b, 0, rows)
+}
+
+// runRowBlocks fans body out over workers contiguous row blocks, block 0 on
+// the calling goroutine. Every row is computed with the same arithmetic
+// order regardless of blocking, so results are byte-identical at any worker
+// count.
+func runRowBlocks(rows, workers int, body func(lo, hi int)) {
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
+		lo := rows * w / workers
+		hi := rows * (w + 1) / workers
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	body(0, rows/workers)
+	wg.Wait()
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"repro/internal/dataset"
 	"repro/internal/mat"
@@ -43,6 +44,13 @@ type MLMonitor struct {
 	norm     *dataset.Normalizer
 	window   int
 	seqFeats int
+
+	// Lazily built float32 inference twin behind the ClassifyF32 fast path.
+	// Never serialized: Save persists only the canonical f64 model, and the
+	// twin is rebuilt on first f32 use after Load.
+	frozenOnce sync.Once
+	frozen     *nn.InferModel
+	frozenErr  error
 }
 
 var _ Monitor = (*MLMonitor)(nil)

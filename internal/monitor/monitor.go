@@ -29,6 +29,19 @@ type Monitor interface {
 	Classify(samples []dataset.Sample) ([]Verdict, error)
 }
 
+// F32Classifier is implemented by monitors that offer a float32 fast
+// inference path (the frozen-model twin of the ML monitors). Callers that
+// are asked for f32 precision should use ClassifyF32 when the monitor
+// provides it and fall back to Classify otherwise (the rule-based monitor
+// has no arithmetic to quantize).
+type F32Classifier interface {
+	Monitor
+	// ClassifyF32 judges a batch through the float32 inference engine. Same
+	// contract as Classify; verdicts may differ from the f64 path only by
+	// float32 rounding.
+	ClassifyF32(samples []dataset.Sample) ([]Verdict, error)
+}
+
 // RuleBased is the pure domain-knowledge monitor: it alerts iff any Table I
 // unsafe-control-action specification fires on the aggregated window context.
 type RuleBased struct {

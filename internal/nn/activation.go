@@ -6,20 +6,12 @@ import (
 	"repro/internal/mat"
 )
 
-// ensureScratch returns m when it already has the wanted shape, else a fresh
-// zeroed matrix — the one-liner behind every layer's reusable training
-// scratch.
-func ensureScratch(m *mat.Matrix, rows, cols int) *mat.Matrix {
-	if m != nil && m.Rows() == rows && m.Cols() == cols {
-		return m
-	}
-	return mat.New(rows, cols)
-}
-
 // ReLU is the rectified-linear activation layer.
 type ReLU struct {
-	mask *mat.Matrix // 1 where input > 0; training scratch
-	out  *mat.Matrix // training scratch
+	mask  *mat.Matrix // 1 where input > 0; training scratch (current shape)
+	out   *mat.Matrix // training scratch (current shape)
+	masks scratchCache
+	outs  scratchCache
 }
 
 var _ Layer = (*ReLU)(nil)
@@ -36,8 +28,8 @@ func (r *ReLU) OutputSize(inputSize int) (int, error) { return inputSize, nil }
 // Forward implements Layer. The returned matrix is layer-owned scratch,
 // valid until the next Forward on this layer.
 func (r *ReLU) Forward(x *mat.Matrix) (*mat.Matrix, error) {
-	r.mask = ensureScratch(r.mask, x.Rows(), x.Cols())
-	r.out = ensureScratch(r.out, x.Rows(), x.Cols())
+	r.mask = r.masks.get(x.Rows(), x.Cols())
+	r.out = r.outs.get(x.Rows(), x.Cols())
 	xd, md, od := x.Data(), r.mask.Data(), r.out.Data()
 	for i, v := range xd {
 		if v > 0 {
@@ -77,7 +69,8 @@ func (r *ReLU) Params() []*Param { return nil }
 
 // Tanh is the hyperbolic-tangent activation layer.
 type Tanh struct {
-	out *mat.Matrix // training scratch
+	out  *mat.Matrix // training scratch (current shape)
+	outs scratchCache
 }
 
 var _ Layer = (*Tanh)(nil)
@@ -94,7 +87,7 @@ func (t *Tanh) OutputSize(inputSize int) (int, error) { return inputSize, nil }
 // Forward implements Layer. The returned matrix is layer-owned scratch,
 // valid until the next Forward on this layer.
 func (t *Tanh) Forward(x *mat.Matrix) (*mat.Matrix, error) {
-	t.out = ensureScratch(t.out, x.Rows(), x.Cols())
+	t.out = t.outs.get(x.Rows(), x.Cols())
 	if err := mat.ApplyInto(t.out, x, math.Tanh); err != nil {
 		return nil, err
 	}
@@ -133,7 +126,8 @@ func (t *Tanh) Params() []*Param { return nil }
 
 // Sigmoid is the logistic activation layer.
 type Sigmoid struct {
-	out *mat.Matrix // training scratch
+	out  *mat.Matrix // training scratch (current shape)
+	outs scratchCache
 }
 
 var _ Layer = (*Sigmoid)(nil)
@@ -150,7 +144,7 @@ func (s *Sigmoid) OutputSize(inputSize int) (int, error) { return inputSize, nil
 // Forward implements Layer. The returned matrix is layer-owned scratch,
 // valid until the next Forward on this layer.
 func (s *Sigmoid) Forward(x *mat.Matrix) (*mat.Matrix, error) {
-	s.out = ensureScratch(s.out, x.Rows(), x.Cols())
+	s.out = s.outs.get(x.Rows(), x.Cols())
 	if err := mat.ApplyInto(s.out, x, sigmoid); err != nil {
 		return nil, err
 	}

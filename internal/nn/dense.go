@@ -15,11 +15,14 @@ type Dense struct {
 
 	lastInput *mat.Matrix // cached for backward
 
-	// Training-path scratch, reused across batches of the same size (the
-	// per-model workspace that kills the per-batch allocations). The
+	// Training-path scratch, reused across the recent batch shapes (the
+	// per-model workspace that kills the per-batch allocations — including
+	// the epoch's alternation between full and short final blocks). The
 	// concurrency-safe Infer path never touches these.
-	y  *mat.Matrix // forward output
-	gx *mat.Matrix // backward input-gradient
+	y   *mat.Matrix // forward output (current shape)
+	gx  *mat.Matrix // backward input-gradient (current shape)
+	ys  scratchCache
+	gxs scratchCache
 }
 
 var _ Layer = (*Dense)(nil)
@@ -55,8 +58,8 @@ func (d *Dense) Forward(x *mat.Matrix) (*mat.Matrix, error) {
 		return nil, fmt.Errorf("nn: dense forward: %d input cols, want %d", x.Cols(), d.in)
 	}
 	d.lastInput = x
-	d.y = ensureScratch(d.y, x.Rows(), d.out)
-	d.gx = ensureScratch(d.gx, x.Rows(), d.in)
+	d.y = d.ys.get(x.Rows(), d.out)
+	d.gx = d.gxs.get(x.Rows(), d.in)
 	if err := mat.MatMulInto(d.y, x, d.w.W); err != nil {
 		return nil, fmt.Errorf("nn: dense forward: %w", err)
 	}

@@ -29,9 +29,12 @@ type LSTM struct {
 
 	// ws is the training workspace: every per-step activation and backward
 	// temporary, allocated once per batch size and reused across batches
-	// (the per-model workspace that kills the per-batch allocations). The
-	// concurrency-safe Infer path never touches it.
-	ws *lstmScratch
+	// (the per-model workspace that kills the per-batch allocations). wss
+	// retains one workspace per recent batch size so an epoch alternating
+	// between full and short final blocks doesn't rebuild the whole set on
+	// every flip. The concurrency-safe Infer path never touches them.
+	ws  *lstmScratch
+	wss []*lstmScratch
 	// cache marks the workspace as holding a recorded forward pass.
 	cache *lstmScratch
 }
@@ -147,6 +150,24 @@ func newLSTMScratch(l *LSTM, batch int) *lstmScratch {
 	return ws
 }
 
+// scratchFor returns the retained workspace for batch, building (and
+// retaining, evicting the oldest beyond scratchShapes) on a miss.
+func (l *LSTM) scratchFor(batch int) *lstmScratch {
+	for _, ws := range l.wss {
+		if ws.batch == batch {
+			return ws
+		}
+	}
+	ws := newLSTMScratch(l, batch)
+	if len(l.wss) >= scratchShapes {
+		copy(l.wss, l.wss[1:])
+		l.wss[len(l.wss)-1] = ws
+	} else {
+		l.wss = append(l.wss, ws)
+	}
+	return ws
+}
+
 // Forward implements Layer: the unrolled recurrence, recording the per-step
 // activations Backward consumes in the reusable workspace. The returned
 // matrix is layer-owned scratch, valid until the next Forward on this layer.
@@ -157,7 +178,7 @@ func (l *LSTM) Forward(x *mat.Matrix) (*mat.Matrix, error) {
 	batch := x.Rows()
 	ws := l.ws
 	if ws == nil || ws.batch != batch {
-		ws = newLSTMScratch(l, batch)
+		ws = l.scratchFor(batch)
 		l.ws = ws
 	}
 	H := l.hidden

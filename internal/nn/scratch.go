@@ -1,0 +1,37 @@
+package nn
+
+import "repro/internal/mat"
+
+// scratchShapes caps how many batch shapes a layer's scratch cache retains.
+// A training epoch cycles through at most two (the full 32-row block and the
+// short final block); the headroom covers callers that interleave a stray
+// eval batch.
+const scratchShapes = 4
+
+// scratchCache reuses one layer-owned matrix per recent batch shape.
+// ensureScratch alone thrashes when an epoch alternates block sizes: every
+// flip between the full block and the short final block reallocated every
+// buffer in the model, which is where most of the parallel-training
+// allocation churn came from.
+type scratchCache struct {
+	mats []*mat.Matrix
+}
+
+// get returns the cached matrix of the wanted shape, allocating (and caching,
+// evicting the oldest shape beyond scratchShapes) on a miss. Contents are
+// whatever the last use left behind — callers must fully overwrite.
+func (c *scratchCache) get(rows, cols int) *mat.Matrix {
+	for _, m := range c.mats {
+		if m.Rows() == rows && m.Cols() == cols {
+			return m
+		}
+	}
+	m := mat.New(rows, cols)
+	if len(c.mats) >= scratchShapes {
+		copy(c.mats, c.mats[1:])
+		c.mats[len(c.mats)-1] = m
+	} else {
+		c.mats = append(c.mats, m)
+	}
+	return m
+}

@@ -1,0 +1,81 @@
+package repro_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/experiments"
+)
+
+// TestF32VerdictAgreement is the acceptance gate of the float32 inference
+// engine: on the bench campaign, for every ML monitor on both simulators,
+// the frozen f32 fast path must agree with the canonical f64 path on all but
+// a sliver of windows (alarm flips < 0.5%) and must not move the overall
+// tolerance-window F1 by more than 0.005. On failure it prints divergence
+// diagnostics — which windows flipped and how close both paths were to the
+// decision boundary — so a quantization regression can be localized.
+func TestF32VerdictAgreement(t *testing.T) {
+	a, err := experiments.Shared(experiments.Bench())
+	if err != nil {
+		t.Fatalf("build assets: %v", err)
+	}
+	const (
+		maxFlipFrac = 0.005
+		maxF1Delta  = 0.005
+	)
+	for _, sa := range a.Sims {
+		for _, name := range experiments.MLMonitorNames {
+			m, err := sa.MLMonitor(name)
+			if err != nil {
+				t.Fatalf("%v %s: %v", sa.Sim, name, err)
+			}
+			v64, err := m.Classify(sa.Test.Samples)
+			if err != nil {
+				t.Fatalf("%v %s Classify: %v", sa.Sim, name, err)
+			}
+			v32, err := m.ClassifyF32(sa.Test.Samples)
+			if err != nil {
+				t.Fatalf("%v %s ClassifyF32: %v", sa.Sim, name, err)
+			}
+			if len(v32) != len(v64) {
+				t.Fatalf("%v %s: %d f32 verdicts for %d windows", sa.Sim, name, len(v32), len(v64))
+			}
+			flips := 0
+			for i := range v64 {
+				if v64[i].Unsafe != v32[i].Unsafe {
+					flips++
+					if flips <= 8 {
+						s := sa.Test.Samples[i]
+						t.Logf("%v %s: window %d (episode %d step %d, label %d) flipped: "+
+							"f64 unsafe=%v conf=%.6f, f32 unsafe=%v conf=%.6f",
+							sa.Sim, name, i, s.EpisodeID, s.Step, s.Label,
+							v64[i].Unsafe, v64[i].Confidence, v32[i].Unsafe, v32[i].Confidence)
+					}
+				}
+			}
+			if frac := float64(flips) / float64(len(v64)); frac > maxFlipFrac {
+				t.Errorf("%v %s: f32 flips %d/%d alarms (%.3f%%), want < %.1f%% — see flip diagnostics above",
+					sa.Sim, name, flips, len(v64), 100*frac, 100*maxFlipFrac)
+			}
+
+			r64, err := eval.Evaluate(m, sa.Test, eval.Options{Tolerance: a.Config.ToleranceDelta, Precision: eval.PrecisionF64})
+			if err != nil {
+				t.Fatalf("%v %s f64 report: %v", sa.Sim, name, err)
+			}
+			r32, err := eval.Evaluate(m, sa.Test, eval.Options{Tolerance: a.Config.ToleranceDelta, Precision: eval.PrecisionF32})
+			if err != nil {
+				t.Fatalf("%v %s f32 report: %v", sa.Sim, name, err)
+			}
+			if d := math.Abs(r64.Overall.F1 - r32.Overall.F1); d > maxF1Delta {
+				t.Errorf("%v %s: overall F1 moved by %.4f (f64 %.4f → f32 %.4f), want <= %.3f",
+					sa.Sim, name, d, r64.Overall.F1, r32.Overall.F1, maxF1Delta)
+				for _, s64 := range r64.Scenarios {
+					if s32, ok := r32.Scenario(s64.Key); ok && s64.F1 != s32.F1 {
+						t.Logf("%v %s: scenario %q F1 %.4f → %.4f", sa.Sim, name, s64.Key, s64.F1, s32.F1)
+					}
+				}
+			}
+		}
+	}
+}
