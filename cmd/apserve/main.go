@@ -1,0 +1,259 @@
+// Command apserve exposes a trained safety monitor as a streaming HTTP
+// service: per-patient sessions ingest raw pump samples (JSON arrays or
+// NDJSON streams) and read back verdicts by long-poll or chunked stream,
+// while a cross-session micro-batching dispatcher fuses concurrent rows
+// into single inference calls over the frozen float32 engine.
+//
+// Usage:
+//
+//	apserve [-addr HOST:PORT] [-model model.json]
+//	        [-sim glucosym|t1ds] [-arch mlp|lstm] [-epochs N]
+//	        [-profiles N] [-episodes N] [-steps N] [-scenarios MIX] [-seed N]
+//	        [-precision f32|f64] [-bypass]
+//	        [-batch-max N] [-batch-wait D] [-max-queue N]
+//	        [-max-sessions N] [-idle-timeout D]
+//	        [-parallel N] [-cache DIR] [-no-cache]
+//	        [-loadgen N] [-loadgen-samples N] [-loadgen-mode stream|request]
+//	        [-loadgen-seed N]
+//
+// Without -model the monitor is trained (or loaded content-addressed from
+// the artifact cache) exactly like apstrain, so a warm start is instant.
+//
+// -loadgen N switches to self-benchmark mode: the server is started on a
+// loopback listener, N concurrent synthetic patient sessions are driven
+// against it, and a one-line summary plus a deterministic verdict digest
+// are printed. The digest is bit-identical across -parallel settings,
+// batch compositions and -bypass (for a fixed precision), which is what
+// the CI smoke asserts.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/mat"
+	"repro/internal/monitor"
+	"repro/internal/serve"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "apserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+	modelPath := flag.String("model", "", "serve this trained model JSON instead of training")
+	simName := flag.String("sim", "glucosym", "simulator: glucosym or t1ds (training path)")
+	arch := flag.String("arch", "mlp", "architecture: mlp or lstm (training path)")
+	epochs := flag.Int("epochs", 15, "training epochs")
+	profiles := flag.Int("profiles", 10, "patient profiles")
+	episodes := flag.Int("episodes", 4, "episodes per profile")
+	steps := flag.Int("steps", 150, "steps per episode")
+	scenarios := flag.String("scenarios", "", "campaign scenario mix, e.g. 'nominal:1,random_fault:1'")
+	seed := flag.Int64("seed", 1, "seed")
+	precision := flag.String("precision", serve.PrecisionF32, "inference arithmetic: f32 (frozen fast path) or f64 (canonical)")
+	bypass := flag.Bool("bypass", false, "disable micro-batching: classify every request inline (baseline)")
+	batchMax := flag.Int("batch-max", 0, "micro-batch fuse limit (0 = default 32)")
+	batchWait := flag.Duration("batch-wait", 0, "max time a row waits for batch-mates (0 = default 1ms)")
+	maxQueue := flag.Int("max-queue", 0, "dispatcher queue depth before 429s (0 = default 32×batch-max)")
+	maxSessions := flag.Int("max-sessions", 1024, "live session cap (creation beyond it gets 429)")
+	idleTimeout := flag.Duration("idle-timeout", 5*time.Minute, "evict sessions idle this long (<0 disables)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for matrix products (1 = serial)")
+	debM := flag.Int("debounce-m", 0, "default session debounce m (m-of-n, 0 = raw verdicts)")
+	debN := flag.Int("debounce-n", 0, "default session debounce n")
+	cusumK := flag.Float64("cusum-k", 0, "default session CUSUM reference k")
+	cusumH := flag.Float64("cusum-h", 0, "default session CUSUM threshold h (0 disables drift)")
+	loadgen := flag.Int("loadgen", 0, "self-benchmark with N concurrent synthetic sessions, then exit")
+	loadSamples := flag.Int("loadgen-samples", 64, "samples per synthetic session")
+	loadMode := flag.String("loadgen-mode", "stream", "loadgen transport: stream (NDJSON) or request (one POST per sample)")
+	loadSeed := flag.Int64("loadgen-seed", 1, "loadgen script seed")
+	cache := artifact.AddFlags(flag.CommandLine)
+	flag.Parse()
+	if *parallel < 1 {
+		return fmt.Errorf("-parallel %d, want >= 1", *parallel)
+	}
+	mat.SetParallelism(*parallel)
+	sweep.SetBudget(*parallel)
+
+	m, err := loadOrTrain(*modelPath, *simName, *arch, *epochs, *profiles, *episodes, *steps, *scenarios, *seed, *parallel, cache)
+	if err != nil {
+		return err
+	}
+
+	srv, err := serve.New(serve.Config{
+		Monitor:     m,
+		Precision:   *precision,
+		Bypass:      *bypass,
+		Batcher:     serve.BatcherConfig{MaxBatch: *batchMax, MaxWait: *batchWait, MaxQueue: *maxQueue},
+		MaxSessions: *maxSessions,
+		IdleTimeout: *idleTimeout,
+		Session: serve.SessionConfig{
+			DebounceM: *debM, DebounceN: *debN,
+			CUSUMK: *cusumK, CUSUMH: *cusumH,
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	mode := "micro-batched"
+	if *bypass {
+		mode = "bypass"
+	}
+	fmt.Printf("apserve: %s on http://%s (%s, %s, window %d)\n",
+		m.Name(), ln.Addr(), mode, *precision, srv.Window())
+
+	if *loadgen > 0 {
+		err := runLoadgen(ln.Addr().String(), *loadgen, *loadSamples, *loadMode, *loadSeed, srv)
+		shutdown(httpSrv, srv)
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		fmt.Println("apserve: signal received, draining")
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			srv.Close()
+			return err
+		}
+	}
+	shutdown(httpSrv, srv)
+	fmt.Println("apserve: drained and stopped")
+	return nil
+}
+
+// shutdown stops accepting requests, then drains the dispatcher so every
+// admitted row still gets its verdict.
+func shutdown(httpSrv *http.Server, srv *serve.Server) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	httpSrv.Shutdown(ctx)
+	srv.Close()
+}
+
+func runLoadgen(addr string, sessions, samples int, mode string, seed int64, srv *serve.Server) error {
+	res, err := serve.RunLoad(context.Background(), serve.LoadConfig{
+		BaseURL:           "http://" + addr,
+		Sessions:          sessions,
+		SamplesPerSession: samples,
+		Mode:              mode,
+		Seed:              seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loadgen: %d sessions × %d samples (%s) in %v: %d verdicts (%d alarms), %.0f samples/s, p50 %v p99 %v\n",
+		res.Sessions, res.Samples, mode, res.Elapsed.Round(time.Millisecond),
+		res.Verdicts, res.Alarms, res.SamplesPerSec, res.P50.Round(time.Microsecond), res.P99.Round(time.Microsecond))
+	bs := srv.BatcherStats()
+	if bs.Flushes > 0 {
+		fmt.Printf("batcher: %d flushes (%d size, %d deadline, %d drain), occupancy %.2f\n",
+			bs.Flushes, bs.SizeFlushes, bs.DeadlineFlushes, bs.DrainFlushes, bs.Occupancy())
+	}
+	fmt.Printf("digest %s\n", res.Digest)
+	return nil
+}
+
+// loadOrTrain either loads a saved model or reproduces apstrain's
+// content-addressed campaign + training path.
+func loadOrTrain(path, simName, arch string, epochs, profiles, episodes, steps int, scenarios string, seed int64, parallel int, cache *artifact.Flags) (*monitor.MLMonitor, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		m, err := monitor.Load(f)
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", path, err)
+		}
+		fmt.Printf("model loaded from %s\n", path)
+		return m, nil
+	}
+
+	var simu dataset.Simulator
+	switch simName {
+	case "glucosym":
+		simu = dataset.Glucosym
+	case "t1ds":
+		simu = dataset.T1DS
+	default:
+		return nil, fmt.Errorf("unknown simulator %q", simName)
+	}
+	var a monitor.Arch
+	switch arch {
+	case "mlp":
+		a = monitor.ArchMLP
+	case "lstm":
+		a = monitor.ArchLSTM
+	default:
+		return nil, fmt.Errorf("unknown architecture %q", arch)
+	}
+	mix, err := sim.ParseScenarioMixFlag(scenarios)
+	if err != nil {
+		return nil, err
+	}
+	camp := dataset.CampaignConfig{
+		Simulator:          simu,
+		Profiles:           profiles,
+		EpisodesPerProfile: episodes,
+		Steps:              steps,
+		Seed:               seed,
+		Workers:            parallel,
+		Scenarios:          mix,
+	}
+	store := cache.Open(log.Printf)
+	ds, hit, err := experiments.CachedCampaign(store, camp)
+	if err != nil {
+		return nil, err
+	}
+	source := "generated"
+	if hit {
+		source = "loaded from artifact cache"
+	}
+	fmt.Printf("campaign %s (%s, %d profiles × %d episodes × %d steps)\n",
+		source, simu, profiles, episodes, steps)
+	const trainFrac = 0.75
+	train, _, err := ds.Split(trainFrac)
+	if err != nil {
+		return nil, err
+	}
+	tc := monitor.TrainConfig{Arch: a, Epochs: epochs, Seed: seed, Workers: parallel}
+	m, hit, err := experiments.CachedMonitor(store, train, camp, trainFrac, tc)
+	if err != nil {
+		return nil, err
+	}
+	if hit {
+		fmt.Println("monitor loaded from artifact cache (training skipped)")
+	}
+	return m, nil
+}

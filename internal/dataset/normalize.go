@@ -83,6 +83,22 @@ func (n *Normalizer) ApplyRow(row []float64) ([]float64, error) {
 	return out, nil
 }
 
+// ApplyRowInto standardizes a single feature vector into a caller-owned
+// destination — the allocation-free form of ApplyRow for hot per-sample
+// paths (the serving sessions stage batcher rows through it).
+func (n *Normalizer) ApplyRowInto(dst, row []float64) error {
+	if len(row) != len(n.Mean) {
+		return fmt.Errorf("dataset: normalize row of %d values with %d stats", len(row), len(n.Mean))
+	}
+	if len(dst) != len(row) {
+		return fmt.Errorf("dataset: normalize %d values into %d slots", len(row), len(dst))
+	}
+	for j, v := range row {
+		dst[j] = (v - n.Mean[j]) / n.Std[j]
+	}
+	return nil
+}
+
 func fitNormalizer(d *Dataset, get func(Sample) []float64) (*Normalizer, error) {
 	if len(d.Samples) == 0 {
 		return nil, fmt.Errorf("dataset: cannot fit normalizer on empty set")

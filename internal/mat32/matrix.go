@@ -88,6 +88,16 @@ func (m *Matrix) Data() []float32 { return m.data }
 // Row returns row i as a view into the backing slice.
 func (m *Matrix) Row(i int) []float32 { return m.data[i*m.cols : (i+1)*m.cols] }
 
+// RowsView returns rows [from, to) as a view sharing m's backing slice —
+// no copy, mutations are visible both ways. The serving batcher uses it to
+// run a fused classify over just the occupied prefix of its staging buffer.
+func (m *Matrix) RowsView(from, to int) (*Matrix, error) {
+	if from < 0 || to > m.rows || from > to {
+		return nil, fmt.Errorf("%w: RowsView [%d,%d) of %d rows", ErrShape, from, to, m.rows)
+	}
+	return &Matrix{rows: to - from, cols: m.cols, data: m.data[from*m.cols : to*m.cols]}, nil
+}
+
 // Clone returns a deep copy.
 func (m *Matrix) Clone() *Matrix {
 	c := New(m.rows, m.cols)

@@ -6,17 +6,71 @@ import (
 	"repro/internal/dataset"
 )
 
+// MOfN is the bare rolling m-of-n alarm filter: Update reports true when at
+// least M of the last N raw verdicts were unsafe. It is the stateful core
+// shared by the Debounced monitor wrapper (offline evaluation) and the
+// serving sessions (online streams), exposed so every concurrent consumer
+// can own a private instance instead of sharing one.
+//
+// An MOfN is NOT safe for concurrent use. Construct one per session or
+// worker — typically by Clone()ing a validated prototype — and Reset()
+// it at episode boundaries.
+type MOfN struct {
+	m, n    int
+	history []bool
+}
+
+// NewMOfN builds an m-of-n filter (1 ≤ m ≤ n).
+func NewMOfN(m, n int) (*MOfN, error) {
+	if n < 1 || m < 1 || m > n {
+		return nil, fmt.Errorf("monitor: debounce m=%d n=%d, want 1 ≤ m ≤ n", m, n)
+	}
+	return &MOfN{m: m, n: n}, nil
+}
+
+// Update folds one raw verdict into the rolling window and returns the
+// filtered decision.
+func (f *MOfN) Update(unsafe bool) bool {
+	f.history = append(f.history, unsafe)
+	if len(f.history) > f.n {
+		f.history = f.history[1:]
+	}
+	count := 0
+	for _, h := range f.history {
+		if h {
+			count++
+		}
+	}
+	return count >= f.m
+}
+
+// Reset clears the rolling verdict history (between episodes).
+func (f *MOfN) Reset() { f.history = f.history[:0] }
+
+// Clone returns an independent filter with the same configuration and a
+// private copy of the rolling state. Cloning an idle (freshly constructed
+// or Reset) prototype is the safe way to hand each session or evaluation
+// worker its own filter.
+func (f *MOfN) Clone() *MOfN {
+	c := &MOfN{m: f.m, n: f.n}
+	if len(f.history) > 0 {
+		c.history = append(c.history, f.history...)
+	}
+	return c
+}
+
 // Debounced wraps a Monitor with m-of-n alarm stabilization, the standard
 // medical-alarm practice: an alert is raised only when at least M of the
 // last N per-sample verdicts are unsafe, suppressing single-sample flickers
 // (which both CGM noise and transient perturbations produce). Samples must
 // be presented in episode order; call Reset between episodes, or use
 // ClassifyEpisodes with episode boundaries.
+//
+// Like MOfN, a Debounced is stateful and not safe for concurrent Classify
+// calls; give each worker its own instance via Clone.
 type Debounced struct {
-	inner Monitor
-	m, n  int
-
-	history []bool
+	inner  Monitor
+	filter MOfN
 }
 
 var _ Monitor = (*Debounced)(nil)
@@ -26,19 +80,29 @@ func NewDebounced(inner Monitor, m, n int) (*Debounced, error) {
 	if inner == nil {
 		return nil, fmt.Errorf("monitor: debounce needs a monitor")
 	}
-	if n < 1 || m < 1 || m > n {
-		return nil, fmt.Errorf("monitor: debounce m=%d n=%d, want 1 ≤ m ≤ n", m, n)
+	f, err := NewMOfN(m, n)
+	if err != nil {
+		return nil, err
 	}
-	return &Debounced{inner: inner, m: m, n: n}, nil
+	return &Debounced{inner: inner, filter: *f}, nil
 }
 
 // Name implements Monitor.
 func (d *Debounced) Name() string {
-	return fmt.Sprintf("%s_debounced_%dof%d", d.inner.Name(), d.m, d.n)
+	return fmt.Sprintf("%s_debounced_%dof%d", d.inner.Name(), d.filter.m, d.filter.n)
 }
 
 // Reset clears the rolling verdict history (between episodes).
-func (d *Debounced) Reset() { d.history = d.history[:0] }
+func (d *Debounced) Reset() { d.filter.Reset() }
+
+// Clone returns a wrapper with the same configuration, a private copy of the
+// rolling window, and the SAME inner monitor — sharing the inner is safe for
+// the stateless monitors (RuleBased, MLMonitor), which is exactly what makes
+// Clone the right way to fan a debounced monitor out across eval workers or
+// serving sessions.
+func (d *Debounced) Clone() *Debounced {
+	return &Debounced{inner: d.inner, filter: *d.filter.Clone()}
+}
 
 // Classify implements Monitor: verdicts are filtered sequentially with the
 // rolling m-of-n window.
@@ -49,17 +113,7 @@ func (d *Debounced) Classify(samples []dataset.Sample) ([]Verdict, error) {
 	}
 	out := make([]Verdict, len(raw))
 	for i, v := range raw {
-		d.history = append(d.history, v.Unsafe)
-		if len(d.history) > d.n {
-			d.history = d.history[1:]
-		}
-		count := 0
-		for _, h := range d.history {
-			if h {
-				count++
-			}
-		}
-		out[i] = Verdict{Unsafe: count >= d.m, Confidence: v.Confidence}
+		out[i] = Verdict{Unsafe: d.filter.Update(v.Unsafe), Confidence: v.Confidence}
 	}
 	return out, nil
 }

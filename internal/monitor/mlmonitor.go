@@ -77,6 +77,33 @@ func (m *MLMonitor) Model() *nn.Model { return m.model }
 // Normalizer returns the feature normalizer the monitor applies.
 func (m *MLMonitor) Normalizer() *dataset.Normalizer { return m.norm }
 
+// Window returns the number of consecutive records one input sample covers —
+// online consumers (the safety guard, the serving sessions) must buffer this
+// many records before the monitor can score a step.
+func (m *MLMonitor) Window() int { return m.window }
+
+// AssembleRow writes the monitor's normalized input row for a single sample
+// into dst (len = model InputSize) without allocating. It is the per-sample
+// seam the serving sessions use to stage rows for the shared batcher;
+// InputMatrix is its batch twin and produces identical values.
+func (m *MLMonitor) AssembleRow(s dataset.Sample, dst []float64) error {
+	feats := s.MLP
+	if m.arch == ArchLSTM {
+		feats = s.Seq
+	}
+	if len(feats) != m.model.InputSize() {
+		return fmt.Errorf("monitor: %s input width %d, model expects %d", m.Name(), len(feats), m.model.InputSize())
+	}
+	if len(dst) != len(feats) {
+		return fmt.Errorf("monitor: %s assemble into %d slots, want %d", m.Name(), len(dst), len(feats))
+	}
+	if m.norm != nil {
+		return m.norm.ApplyRowInto(dst, feats)
+	}
+	copy(dst, feats)
+	return nil
+}
+
 // InputMatrix assembles the monitor's normalized input representation for a
 // batch of samples.
 func (m *MLMonitor) InputMatrix(samples []dataset.Sample) (*mat.Matrix, error) {

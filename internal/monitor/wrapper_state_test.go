@@ -1,0 +1,124 @@
+package monitor
+
+import (
+	"testing"
+
+	"repro/internal/controller"
+	"repro/internal/dataset"
+)
+
+func TestMOfNUpdateSemantics(t *testing.T) {
+	if _, err := NewMOfN(0, 3); err == nil {
+		t.Fatal("want error for m=0")
+	}
+	if _, err := NewMOfN(4, 3); err == nil {
+		t.Fatal("want error for m>n")
+	}
+	f, err := NewMOfN(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := []bool{true, false, true, true, false, false, false}
+	want := []bool{false, false, true, true, true, false, false}
+	for i, u := range seq {
+		if got := f.Update(u); got != want[i] {
+			t.Fatalf("step %d: Update(%t) = %t, want %t", i, u, got, want[i])
+		}
+	}
+}
+
+func TestMOfNResetAndClone(t *testing.T) {
+	f, err := NewMOfN(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Update(true)
+	// Clone must copy the rolling state and then diverge independently.
+	c := f.Clone()
+	if got := c.Update(true); !got {
+		t.Fatal("clone lost the copied history: 2-of-2 should alarm")
+	}
+	if got := f.Update(false); got {
+		t.Fatal("original contaminated by clone updates")
+	}
+	// Reset clears history: a single unsafe can no longer satisfy 2-of-2.
+	c.Reset()
+	if got := c.Update(true); got {
+		t.Fatal("Reset did not clear the rolling window")
+	}
+}
+
+func TestDebouncedClone(t *testing.T) {
+	rb := NewRuleBased(140)
+	d, err := NewDebounced(rb, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unsafe := dataset.Sample{BG: 200, DeltaBG: 2, DeltaIOB: -0.01, Action: controller.ActionDecrease}
+	if _, err := d.Classify([]dataset.Sample{unsafe}); err != nil {
+		t.Fatal(err)
+	}
+	c := d.Clone()
+	if c.Name() != d.Name() {
+		t.Fatalf("clone name %q, want %q", c.Name(), d.Name())
+	}
+	// The clone carries the copied window (one unsafe seen), so one more
+	// unsafe satisfies 2-of-2 — and must not leak back into the original.
+	v, err := c.Classify([]dataset.Sample{unsafe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v[0].Unsafe {
+		t.Fatal("clone lost the copied debounce state")
+	}
+	d.Reset()
+	v, err = d.Classify([]dataset.Sample{unsafe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0].Unsafe {
+		t.Fatal("original state contaminated: Reset + 1 unsafe cannot satisfy 2-of-2")
+	}
+}
+
+func TestCUSUMDriftDetection(t *testing.T) {
+	if _, err := NewCUSUM(-0.1, 1); err == nil {
+		t.Fatal("want error for negative allowance")
+	}
+	if _, err := NewCUSUM(0.5, 0); err == nil {
+		t.Fatal("want error for non-positive threshold")
+	}
+	c, err := NewCUSUM(0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nominal traffic (p below the allowance) never accumulates.
+	for i := 0; i < 100; i++ {
+		if c.Update(0.2) {
+			t.Fatalf("alarm on nominal traffic at step %d", i)
+		}
+	}
+	if c.Value() != 0 {
+		t.Fatalf("statistic drifted to %g on nominal traffic", c.Value())
+	}
+	// Sustained sub-threshold drift (p = 0.9, never a hard verdict flip on
+	// its own) accumulates 0.4 per step and alarms once S exceeds 1.
+	steps := 1
+	for !c.Update(0.9) {
+		steps++
+		if steps > 10 {
+			t.Fatal("drift never detected")
+		}
+	}
+	if steps != 3 {
+		t.Fatalf("alarm after %d sub-threshold steps, want 3", steps)
+	}
+	clone := c.Clone()
+	c.Reset()
+	if c.Update(0.9) {
+		t.Fatal("Reset did not clear the statistic")
+	}
+	if !clone.Update(0.9) {
+		t.Fatal("clone lost the accumulated statistic")
+	}
+}

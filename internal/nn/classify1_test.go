@@ -1,0 +1,73 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/mat32"
+)
+
+// TestClassify1MatchesBatch pins the single-row fast path to the batched
+// ClassifyInto answer, bitwise: same class, same confidence.
+func TestClassify1MatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for name, m := range freezeTestModels(t, rng) {
+		im, err := m.Freeze()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		x := mat32.FromF64(randBatch(rng, 16, m.InputSize()))
+		classes := make([]int, 16)
+		conf := make([]float64, 16)
+		if err := im.ClassifyInto(x, classes, conf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i := 0; i < x.Rows(); i++ {
+			class, c, err := im.Classify1(x.Row(i))
+			if err != nil {
+				t.Fatalf("%s row %d: %v", name, i, err)
+			}
+			if class != classes[i] || c != conf[i] {
+				t.Fatalf("%s row %d: Classify1 = (%d, %v), batch = (%d, %v)",
+					name, i, class, c, classes[i], conf[i])
+			}
+			if math.IsNaN(c) || c <= 0 || c > 1 {
+				t.Fatalf("%s row %d: confidence %v out of range", name, i, c)
+			}
+		}
+		if _, _, err := im.Classify1(make([]float32, m.InputSize()+1)); err == nil {
+			t.Fatalf("%s: want error for wrong row width", name)
+		}
+	}
+}
+
+// TestClassify1ZeroAlloc pins the satellite requirement: a steady stream of
+// single-row classifications allocates nothing (no []int/[]float64 per call).
+func TestClassify1ZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race (sync.Pool sheds items)")
+	}
+	mat.SetParallelism(1)
+	defer mat.SetParallelism(0)
+	rng := rand.New(rand.NewSource(31))
+	for name, m := range freezeTestModels(t, rng) {
+		im, err := m.Freeze()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		row := mat32.FromF64(randBatch(rng, 1, m.InputSize())).Row(0)
+		// Warm up the pooled workspace at the 1-row shape.
+		if _, _, err := im.Classify1(row); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if allocs := testing.AllocsPerRun(20, func() {
+			if _, _, err := im.Classify1(row); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}); allocs != 0 {
+			t.Fatalf("%s: Classify1 allocates %v objects per run in steady state", name, allocs)
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package nn
+
+// Under the race detector sync.Pool sheds items at random (to exercise
+// publication ordering), so pooled-workspace allocation counts are not
+// meaningful; the zero-alloc pins skip themselves when this is set.
+func init() { raceEnabled = true }

@@ -1,0 +1,258 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoClassify returns each row's first feature as its class (truncated) and
+// confidence, making demux routing checkable per row.
+func echoClassify(rows [][]float64, classes []int, conf []float64) error {
+	for i, r := range rows {
+		classes[i] = int(r[0])
+		conf[i] = r[0] / 1000
+	}
+	return nil
+}
+
+func rowsOf(vals ...float64) [][]float64 {
+	out := make([][]float64, len(vals))
+	for i, v := range vals {
+		out[i] = []float64{v}
+	}
+	return out
+}
+
+func TestBatcherSizeFlush(t *testing.T) {
+	var mu sync.Mutex
+	var sizes []int
+	b := NewBatcher(BatcherConfig{MaxBatch: 8, MaxWait: time.Hour}, func(rows [][]float64, classes []int, conf []float64) error {
+		mu.Lock()
+		sizes = append(sizes, len(rows))
+		mu.Unlock()
+		return echoClassify(rows, classes, conf)
+	})
+	defer b.Close()
+	// 16 rows with the deadline effectively disabled: only the size trigger
+	// can flush, and it must do so twice at exactly MaxBatch.
+	rows := rowsOf(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15)
+	classes := make([]int, 16)
+	conf := make([]float64, 16)
+	if err := b.Classify(rows, classes, conf); err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		if classes[i] != i {
+			t.Fatalf("row %d routed class %d", i, classes[i])
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(sizes) != 2 || sizes[0] != 8 || sizes[1] != 8 {
+		t.Fatalf("flush sizes = %v, want [8 8]", sizes)
+	}
+	st := b.Stats()
+	if st.SizeFlushes != 2 || st.DeadlineFlushes != 0 || st.FusedRows != 16 {
+		t.Fatalf("stats = %+v, want 2 size flushes over 16 rows", st)
+	}
+}
+
+func TestBatcherDeadlineFlush(t *testing.T) {
+	b := NewBatcher(BatcherConfig{MaxBatch: 32, MaxWait: 10 * time.Millisecond}, echoClassify)
+	defer b.Close()
+	classes := make([]int, 3)
+	conf := make([]float64, 3)
+	start := time.Now()
+	if err := b.Classify(rowsOf(7, 8, 9), classes, conf); err != nil {
+		t.Fatal(err)
+	}
+	if waited := time.Since(start); waited < 10*time.Millisecond {
+		t.Fatalf("partial batch flushed after %v, before the %v deadline", waited, 10*time.Millisecond)
+	}
+	if classes[0] != 7 || classes[2] != 9 {
+		t.Fatalf("classes = %v", classes)
+	}
+	st := b.Stats()
+	if st.DeadlineFlushes != 1 || st.SizeFlushes != 0 {
+		t.Fatalf("stats = %+v, want exactly one deadline flush", st)
+	}
+	if got := st.Occupancy(); got != 3 {
+		t.Fatalf("occupancy = %v, want 3", got)
+	}
+}
+
+// TestBatcherDemuxConcurrent hammers the dispatcher from many goroutines
+// (run under -race) and checks every verdict lands in its own caller's
+// slices.
+func TestBatcherDemuxConcurrent(t *testing.T) {
+	b := NewBatcher(BatcherConfig{MaxBatch: 16, MaxWait: 200 * time.Microsecond}, echoClassify)
+	defer b.Close()
+	const (
+		goroutines = 24
+		blocks     = 12
+		blockRows  = 5
+	)
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			classes := make([]int, blockRows)
+			conf := make([]float64, blockRows)
+			for blk := 0; blk < blocks; blk++ {
+				vals := make([]float64, blockRows)
+				for i := range vals {
+					vals[i] = float64(g*10000 + blk*100 + i)
+				}
+				if err := b.ClassifyWait(context.Background(), rowsOf(vals...), classes, conf); err != nil {
+					errCh <- err
+					return
+				}
+				for i := range vals {
+					if classes[i] != int(vals[i]) || conf[i] != vals[i]/1000 {
+						errCh <- fmt.Errorf("goroutine %d block %d row %d: got (%d, %v)", g, blk, i, classes[i], conf[i])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	st := b.Stats()
+	if st.FusedRows != goroutines*blocks*blockRows {
+		t.Fatalf("fused %d rows, want %d", st.FusedRows, goroutines*blocks*blockRows)
+	}
+	if st.Flushes >= st.FusedRows {
+		t.Fatalf("no fusion happened: %d flushes for %d rows", st.Flushes, st.FusedRows)
+	}
+}
+
+// TestBatcherDrainOnClose pins the graceful-shutdown contract: rows that are
+// queued but unflushed (deadline far away) are still classified and
+// delivered when Close drains.
+func TestBatcherDrainOnClose(t *testing.T) {
+	b := NewBatcher(BatcherConfig{MaxBatch: 64, MaxWait: time.Hour}, echoClassify)
+	const callers = 6
+	var wg sync.WaitGroup
+	results := make([][]int, callers)
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			classes := make([]int, 2)
+			conf := make([]float64, 2)
+			errs[i] = b.Classify(rowsOf(float64(2*i), float64(2*i+1)), classes, conf)
+			results[i] = classes
+		}(i)
+	}
+	// Give the callers time to enqueue (the hour-long deadline guarantees
+	// nothing flushes on its own), then drain.
+	time.Sleep(20 * time.Millisecond)
+	b.Close()
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if results[i][0] != 2*i || results[i][1] != 2*i+1 {
+			t.Fatalf("caller %d got %v", i, results[i])
+		}
+	}
+	st := b.Stats()
+	if st.DrainFlushes == 0 {
+		t.Fatalf("stats = %+v, want drain flushes", st)
+	}
+	if err := b.Classify(rowsOf(1), make([]int, 1), make([]float64, 1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Classify after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestBatcherBackpressure pins the load-shedding contract: a full queue
+// rejects immediately with ErrQueueFull rather than blocking, while
+// ClassifyWait blocks until cancellation.
+func TestBatcherBackpressure(t *testing.T) {
+	b := NewBatcher(BatcherConfig{MaxBatch: 64, MaxWait: time.Hour, MaxQueue: 4}, echoClassify)
+	done := make(chan error, 1)
+	go func() {
+		done <- b.Classify(rowsOf(0, 1, 2, 3), make([]int, 4), make([]float64, 4))
+	}()
+	// Wait until the 4 rows occupy the whole queue.
+	for i := 0; ; i++ {
+		b.mu.Lock()
+		n := b.rows
+		b.mu.Unlock()
+		if n == 4 {
+			break
+		}
+		if i > 1000 {
+			t.Fatal("rows never enqueued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := b.Classify(rowsOf(9), make([]int, 1), make([]float64, 1)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overfull Classify = %v, want ErrQueueFull", err)
+	}
+	if got := b.Stats().Rejected; got != 1 {
+		t.Fatalf("rejected = %d, want 1", got)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := b.ClassifyWait(ctx, rowsOf(9), make([]int, 1), make([]float64, 1)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("ClassifyWait on full queue = %v, want deadline exceeded", err)
+	}
+	// A block wider than the queue can never be admitted: fail fast.
+	if err := b.Classify(rowsOf(0, 1, 2, 3, 4), make([]int, 5), make([]float64, 5)); err == nil || errors.Is(err, ErrQueueFull) {
+		t.Fatalf("oversized block = %v, want a hard error", err)
+	}
+	// Drain delivers the parked rows.
+	b.Close()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatcherErrorPropagation: a failing flush reaches every caller in the
+// block exactly once, and the dispatcher keeps serving afterwards.
+func TestBatcherErrorPropagation(t *testing.T) {
+	boom := errors.New("boom")
+	var fail bool
+	var mu sync.Mutex
+	b := NewBatcher(BatcherConfig{MaxBatch: 4, MaxWait: time.Millisecond}, func(rows [][]float64, classes []int, conf []float64) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if fail {
+			return boom
+		}
+		return echoClassify(rows, classes, conf)
+	})
+	defer b.Close()
+	mu.Lock()
+	fail = true
+	mu.Unlock()
+	// 6 rows at MaxBatch 4: the block spans two flushes, and the first
+	// failure must surface exactly once.
+	if err := b.Classify(rowsOf(0, 1, 2, 3, 4, 5), make([]int, 6), make([]float64, 6)); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	mu.Lock()
+	fail = false
+	mu.Unlock()
+	classes := make([]int, 1)
+	if err := b.Classify(rowsOf(41), classes, make([]float64, 1)); err != nil {
+		t.Fatalf("dispatcher dead after error: %v", err)
+	}
+	if classes[0] != 41 {
+		t.Fatalf("class = %d", classes[0])
+	}
+}
