@@ -61,7 +61,7 @@ type CampaignConfig struct {
 	// 1 = serial; additionally clamped by the shared sweep budget). Output
 	// is byte-identical at every setting, so Workers never enters the
 	// campaign fingerprint.
-	Workers int
+	Workers int // fp:ignore scheduling knob, output is byte-identical at every worker count
 }
 
 func (c *CampaignConfig) fill() {

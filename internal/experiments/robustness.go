@@ -220,13 +220,16 @@ func (r *HeatmapResult) Render() string {
 // MeanError averages a row group (e.g. all Custom rows) for the headline
 // reduction claims.
 func (r *HeatmapResult) MeanError(filter func(rowLabel string) bool) float64 {
+	// Reduce in RowOrder, not map order: float addition does not associate,
+	// so summing in map-iteration order made the headline number depend on
+	// the run (caught by apslint's detpure analyzer).
 	var sum float64
 	var n int
-	for label, row := range r.Errors {
+	for _, label := range r.RowOrder {
 		if !filter(label) {
 			continue
 		}
-		for _, v := range row {
+		for _, v := range r.Errors[label] {
 			sum += v
 			n++
 		}

@@ -1,0 +1,40 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// Budgetguard flags raw goroutine launches in kernel/pipeline packages.
+// Fan-out that bypasses the internal/sweep worker budget multiplies under
+// nesting (the P² oversubscription class PR 2 fixed): a budgeted sweep cell
+// that itself spawns unbudgeted goroutines runs budget² goroutines.
+var Budgetguard = &Analyzer{
+	Name: "budgetguard",
+	Doc: `flag raw go-statement launches that bypass the internal/sweep worker budget
+
+Determinism-critical compute packages must fan out through sweep.Map or
+under an explicit sweep.AcquireWorkers grant so total concurrency stays at
+~budget instead of budget². The pool implementation itself and the few
+grant-holding block dispatchers carry //apslint:allow budgetguard
+annotations documenting why their launches are budget-correct.`,
+	Run: runBudgetguard,
+}
+
+func runBudgetguard(pass *Pass) error {
+	if !DeterminismCritical(pass.PkgPath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			pass.Reportf(gs.Pos(),
+				"raw goroutine launch in budget-governed package %s: route fan-out through the internal/sweep worker budget (sweep.Map or an AcquireWorkers grant) or annotate why this launch is budget-correct",
+				pass.PkgPath)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestBudgetguardFixtures(t *testing.T) {
+	Fixture(t, "repro/internal/mat", []*Analyzer{Budgetguard}, "budgetguard", "bgbad")
+}

@@ -1,0 +1,240 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Detpure forbids the three nondeterminism sources that have historically
+// leaked into reproducible outputs: wall-clock reads, the global math/rand
+// stream, and reductions over map iteration order.
+var Detpure = &Analyzer{
+	Name: "detpure",
+	Doc: `forbid wall clocks, global math/rand, and map-order reductions in determinism-critical packages
+
+Campaign bytes, trained weights, and evaluation reports must be identical
+at every worker count and on every run with the same seed. time.Now /
+time.Since, the top-level math/rand functions (which share one global,
+lock-protected stream), and loops that accumulate into outer state while
+ranging over a map (iteration order is randomized) all break that.
+Explicitly seeded generators — rand.New(rand.NewSource(seed)) — remain
+legal, as does collecting map keys into a slice that is sorted before use.`,
+	Run: runDetpure,
+}
+
+// allowedRandFuncs are the top-level math/rand functions that do not touch
+// the global generator.
+var allowedRandFuncs = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runDetpure(pass *Pass) error {
+	if !DeterminismCritical(pass.PkgPath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.CallExpr:
+				checkImpureCall(pass, node)
+			case *ast.RangeStmt:
+				checkMapRangeReduce(pass, f, node)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkImpureCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() != nil {
+		return // methods (e.g. on a seeded *rand.Rand) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" || fn.Name() == "Since" {
+			pass.Reportf(call.Pos(),
+				"time.%s in determinism-critical package %s: wall-clock values must not influence reproducible outputs",
+				fn.Name(), pass.PkgPath)
+		}
+	case "math/rand", "math/rand/v2":
+		if !allowedRandFuncs[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"global rand.%s in determinism-critical package %s: draw from an explicitly seeded rand.New(rand.NewSource(seed)) instead",
+				fn.Name(), pass.PkgPath)
+		}
+	}
+}
+
+// checkMapRangeReduce flags loops that range over a map while accumulating
+// into state declared outside the loop. Order-independent accumulations are
+// left alone: integer arithmetic (exactly commutative and associative) and
+// writes indexed by the loop's own key variable (each key visited once).
+// Appending to an outer slice is tolerated when that slice is passed to a
+// sort later in the same function — the collect-keys-then-sort idiom.
+func checkMapRangeReduce(pass *Pass, file *ast.File, rs *ast.RangeStmt) {
+	t := pass.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	loopVars := make(map[types.Object]bool)
+	for _, ve := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := ve.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+				loopVars[obj] = true
+			}
+		}
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		checkRangeAssign(pass, file, rs, loopVars, asg)
+		return true
+	})
+}
+
+func checkRangeAssign(pass *Pass, file *ast.File, rs *ast.RangeStmt, loopVars map[types.Object]bool, asg *ast.AssignStmt) {
+	if asg.Tok == token.DEFINE || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return
+	}
+	target := unparen(asg.Lhs[0])
+	obj := rootObject(pass.TypesInfo, target)
+	if obj == nil || loopVars[obj] || !declaredOutside(obj, rs.Pos(), rs.End()) {
+		return
+	}
+	// A write indexed by the loop key touches each slot exactly once, so
+	// iteration order cannot matter.
+	if ix, ok := target.(*ast.IndexExpr); ok {
+		if id, ok := unparen(ix.Index).(*ast.Ident); ok && loopVars[pass.TypesInfo.ObjectOf(id)] {
+			return
+		}
+	}
+	switch asg.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if orderIndependentType(typeOfObjTarget(pass, target)) {
+			return
+		}
+		pass.Reportf(asg.Pos(),
+			"accumulation into %s while ranging over a map: iteration order is randomized, sort the keys first",
+			obj.Name())
+	case token.ASSIGN:
+		rhs := unparen(asg.Rhs[0])
+		if call, ok := rhs.(*ast.CallExpr); ok && isAppendTo(pass, call, obj) {
+			if sortedAfter(pass, file, rs, obj) {
+				return
+			}
+			pass.Reportf(asg.Pos(),
+				"append to %s while ranging over a map: iteration order is randomized, sort %s after collecting (or sort the keys first)",
+				obj.Name(), obj.Name())
+			return
+		}
+		if bin, ok := rhs.(*ast.BinaryExpr); ok && selfReferential(pass, bin, obj) {
+			if orderIndependentType(typeOfObjTarget(pass, target)) {
+				return
+			}
+			pass.Reportf(asg.Pos(),
+				"accumulation into %s while ranging over a map: iteration order is randomized, sort the keys first",
+				obj.Name())
+		}
+	}
+}
+
+// typeOfObjTarget resolves the static type of the assignment target.
+func typeOfObjTarget(pass *Pass, target ast.Expr) types.Type {
+	return pass.TypesInfo.TypeOf(target)
+}
+
+// orderIndependentType reports whether += over the type commutes exactly:
+// integer arithmetic does; float, complex, and string accumulation are
+// order-dependent.
+func orderIndependentType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsInteger|types.IsBoolean) != 0
+}
+
+// isAppendTo reports whether call is append(obj, …).
+func isAppendTo(pass *Pass, call *ast.CallExpr, obj types.Object) bool {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	if len(call.Args) == 0 {
+		return false
+	}
+	first, ok := unparen(call.Args[0]).(*ast.Ident)
+	return ok && pass.TypesInfo.ObjectOf(first) == obj
+}
+
+// selfReferential reports whether obj appears as an operand inside bin
+// (x = x + y and friends).
+func selfReferential(pass *Pass, bin *ast.BinaryExpr, obj types.Object) bool {
+	found := false
+	ast.Inspect(bin, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// sortedAfter reports whether obj is passed to a sort.* or slices.Sort*
+// call after the range statement, within the same enclosing function — the
+// blessing that makes the collect-then-sort idiom legal.
+func sortedAfter(pass *Pass, file *ast.File, rs *ast.RangeStmt, obj types.Object) bool {
+	body := enclosingFuncBody(file, rs.Pos())
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		isSort := fn.Pkg().Path() == "sort" ||
+			(fn.Pkg().Path() == "slices" && len(fn.Name()) >= 4 && fn.Name()[:4] == "Sort")
+		if !isSort {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDetpureFixtures(t *testing.T) {
+	Fixture(t, "repro/internal/sim", []*Analyzer{Detpure}, "detpure", "detbad")
+}
+
+// TestDetpurePolicyExemptions loads a fixture full of violations under the
+// policy-exempt package paths and asserts the determinism analyzers stay
+// silent: serving code may read clocks, binaries own their UX.
+func TestDetpurePolicyExemptions(t *testing.T) {
+	for _, path := range []string{
+		"repro/internal/serve",
+		"repro/cmd/apsim",
+		"repro/examples/quickstart",
+		"repro",
+	} {
+		t.Run(path, func(t *testing.T) {
+			Fixture(t, path, []*Analyzer{Detpure, Budgetguard, Fixedorder}, "exempt")
+		})
+	}
+}
+
+// TestExemptFixtureFiresInEval pins the acceptance demonstration: the same
+// code that is fine in repro/internal/serve — a bare time.Now(), a global
+// rand draw, a raw goroutine, a completion-order reduction — fails the
+// build the moment it appears in repro/internal/eval.
+func TestExemptFixtureFiresInEval(t *testing.T) {
+	pkg, err := LoadFixture(testdataDir("exempt"), "repro/internal/eval")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := RunPackage(pkg, []*Analyzer{Detpure, Budgetguard, Fixedorder})
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	perAnalyzer := make(map[string]int)
+	sawNow := false
+	for _, d := range diags {
+		perAnalyzer[d.Analyzer]++
+		if strings.Contains(d.Message, "time.Now in determinism-critical package repro/internal/eval") {
+			sawNow = true
+		}
+	}
+	if !sawNow {
+		t.Errorf("bare time.Now() in repro/internal/eval was not flagged; got %v", diags)
+	}
+	for _, a := range []string{"detpure", "budgetguard", "fixedorder"} {
+		if perAnalyzer[a] == 0 {
+			t.Errorf("analyzer %s reported nothing on the violation fixture in a determinism-critical package", a)
+		}
+	}
+}

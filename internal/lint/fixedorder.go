@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Fixedorder flags concurrent fan-ins that reduce floating-point results
+// in completion order. Float addition does not associate, so a reduction
+// that folds results as goroutines happen to finish produces run-to-run
+// different bytes; deterministic code must collect into an indexed slice
+// and reduce in index order (the sweep.Map / nn.Trainer pattern).
+var Fixedorder = &Analyzer{
+	Name: "fixedorder",
+	Doc: `flag completion-order floating-point reductions in concurrent fan-ins
+
+Two shapes are reported in determinism-critical packages: (1) a loop that
+receives from a channel and accumulates a float into an outer variable —
+the classic "for v := range results { sum += v }" fan-in, which adds in
+whatever order workers finished; and (2) a goroutine body that accumulates
+a float directly into shared state, the sync.WaitGroup flavor of the same
+bug. Collect results into a per-index slice and reduce after the barrier.`,
+	Run: runFixedorder,
+}
+
+func runFixedorder(pass *Pass) error {
+	if !DeterminismCritical(pass.PkgPath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.RangeStmt:
+				t := pass.TypesInfo.TypeOf(node.X)
+				if t == nil {
+					return true
+				}
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					reportCompletionOrderAccum(pass, node.Body, node.Pos(), node.End(),
+						"channel fan-in accumulates %s in completion order: collect into an indexed slice and reduce in index order")
+				}
+			case *ast.ForStmt:
+				if containsReceive(node.Body) {
+					reportCompletionOrderAccum(pass, node.Body, node.Pos(), node.End(),
+						"receive loop accumulates %s in completion order: collect into an indexed slice and reduce in index order")
+				}
+			case *ast.GoStmt:
+				if fl, ok := node.Call.Fun.(*ast.FuncLit); ok {
+					reportCompletionOrderAccum(pass, fl.Body, fl.Pos(), fl.End(),
+						"goroutine accumulates %s into shared state in completion order: write a per-index result and reduce after the barrier")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// containsReceive reports whether the block performs a channel receive.
+func containsReceive(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ue, ok := n.(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// reportCompletionOrderAccum reports float/complex accumulation into
+// variables declared outside the [from, to] span.
+func reportCompletionOrderAccum(pass *Pass, body *ast.BlockStmt, from, to token.Pos, format string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+			return true
+		}
+		target := unparen(asg.Lhs[0])
+		obj := rootObject(pass.TypesInfo, target)
+		if obj == nil || !declaredOutside(obj, from, to) {
+			return true
+		}
+		if !floatLike(pass.TypesInfo.TypeOf(target)) {
+			return true
+		}
+		accum := false
+		switch asg.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			accum = true
+		case token.ASSIGN:
+			if bin, ok := unparen(asg.Rhs[0]).(*ast.BinaryExpr); ok {
+				accum = selfReferential(pass, bin, obj)
+			}
+		}
+		if accum {
+			pass.Reportf(asg.Pos(), format, obj.Name())
+		}
+		return true
+	})
+}
+
+// floatLike reports whether accumulation over the type is order-dependent
+// floating-point arithmetic.
+func floatLike(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

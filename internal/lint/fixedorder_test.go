@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestFixedorderFixtures(t *testing.T) {
+	Fixture(t, "repro/internal/eval", []*Analyzer{Fixedorder}, "fixedorder", "fobad")
+}

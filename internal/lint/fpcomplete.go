@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// Fpcomplete mechanizes the fingerprint-completeness contract that keeps
+// content-addressed caching sound: a config field that influences output
+// but is missing from Fingerprint() silently serves stale artifacts.
+var Fpcomplete = &Analyzer{
+	Name: "fpcomplete",
+	Doc: `require every exported field of a Fingerprint()ed struct to be hashed or annotated
+
+For each struct with a Fingerprint() method, every exported field must
+either be read somewhere in the method body (written into the hash) or
+carry a ` + "`// fp:ignore <reason>`" + ` comment on its declaration stating why it
+is deliberately excluded (Workers-style knobs that cannot change output).
+This applies in every package — there are no exemptions — so adding a
+field to CampaignConfig, TrainConfig, or ReportConfig without deciding its
+caching story fails the build.`,
+	Run: runFpcomplete,
+}
+
+func runFpcomplete(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Name.Name != "Fingerprint" || fd.Body == nil {
+				continue
+			}
+			checkFingerprintMethod(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFingerprintMethod(pass *Pass, fd *ast.FuncDecl) {
+	fnObj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if fnObj == nil {
+		return
+	}
+	recv := fnObj.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return
+	}
+	rt := recv.Type()
+	if ptr, ok := rt.(*types.Pointer); ok {
+		rt = ptr.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		return
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+
+	// Fields read anywhere in the method body count as hashed. Selections
+	// resolve through embedding, so c.Inner.X marks both Inner and, via
+	// the nested selector, X.
+	hashed := make(map[*types.Var]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s := pass.TypesInfo.Selections[sel]
+		if s == nil || s.Kind() != types.FieldVal {
+			return true
+		}
+		if v, ok := s.Obj().(*types.Var); ok {
+			hashed[v] = true
+		}
+		return true
+	})
+
+	ignored := fpIgnoredFields(pass, named.Obj().Name())
+
+	var missing []string
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() || hashed[f] || ignored[f.Name()] {
+			continue
+		}
+		missing = append(missing, f.Name())
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		pass.Reportf(fd.Pos(),
+			"exported field %s.%s is neither hashed by Fingerprint nor annotated // fp:ignore: "+
+				"either mix it into the hash or document why it cannot change the output",
+			named.Obj().Name(), name)
+	}
+}
+
+// fpIgnoredFields collects the field names of the named struct type whose
+// declarations carry a `// fp:ignore` doc or line comment, searching every
+// file of the package (the type may live in a different file than the
+// method).
+func fpIgnoredFields(pass *Pass, typeName string) map[string]bool {
+	ignored := make(map[string]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != typeName {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					if !hasFPIgnore(field.Doc, field.Comment) {
+						continue
+					}
+					for _, name := range field.Names {
+						ignored[name.Name] = true
+					}
+					if len(field.Names) == 0 { // embedded field
+						if id := embeddedFieldName(field.Type); id != "" {
+							ignored[id] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return ignored
+}
+
+// embeddedFieldName extracts the implicit field name of an embedded type
+// expression (T, *T, pkg.T, *pkg.T).
+func embeddedFieldName(expr ast.Expr) string {
+	switch e := unparen(expr).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.StarExpr:
+		return embeddedFieldName(e.X)
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}

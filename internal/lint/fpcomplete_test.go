@@ -1,0 +1,24 @@
+package lint
+
+import "testing"
+
+func TestFpcompleteFixtures(t *testing.T) {
+	Fixture(t, "repro/internal/eval", []*Analyzer{Fpcomplete}, "fpcomplete", "fpbad")
+}
+
+// TestFpcompleteHasNoPackageExemptions runs the same fixture under every
+// package-path flavor — determinism-critical, serving, command, example —
+// and requires the missing-field findings to fire identically: fingerprint
+// completeness has no exempt packages, by policy.
+func TestFpcompleteHasNoPackageExemptions(t *testing.T) {
+	for _, path := range []string{
+		"repro/internal/serve",
+		"repro/cmd/apstrain",
+		"repro/examples/quickstart",
+		"repro/internal/dataset",
+	} {
+		t.Run(path, func(t *testing.T) {
+			Fixture(t, path, []*Analyzer{Fpcomplete}, "fpcomplete", "fpbad")
+		})
+	}
+}

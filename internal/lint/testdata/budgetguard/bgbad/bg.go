@@ -1,0 +1,32 @@
+// Package bgbad exercises budgetguard. The tests load it under the
+// spoofed import path repro/internal/mat, a budget-governed kernel
+// package.
+package bgbad
+
+import "sync"
+
+func rawFanOut(n int) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() { // want `raw goroutine launch in budget-governed package`
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func namedLaunch() {
+	go work(1) // want `raw goroutine launch in budget-governed package`
+}
+
+// grantedLaunch demonstrates the escape hatch for a launch that holds a
+// sweep budget grant.
+func grantedLaunch(n int) {
+	for i := 0; i < n; i++ {
+		//apslint:allow budgetguard fixture launch is covered by a sweep grant
+		go work(i)
+	}
+}
+
+func work(int) {}

@@ -1,0 +1,17 @@
+package detbad
+
+import (
+	"math/rand"
+	"time"
+)
+
+// startStamp demonstrates the line-above escape hatch.
+func startStamp() int64 {
+	//apslint:allow detpure fixture demonstrates the line-above escape hatch
+	return time.Now().UnixNano()
+}
+
+// inlineAllow demonstrates the same-line escape hatch.
+func inlineAllow() int {
+	return rand.Int() //apslint:allow detpure fixture demonstrates the same-line escape hatch
+}

@@ -1,0 +1,49 @@
+// Package detbad exercises every detpure finding class. The tests load it
+// under the spoofed import path repro/internal/sim, so the determinism
+// policy applies.
+package detbad
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clocks() time.Duration {
+	start := time.Now()      // want `time\.Now in determinism-critical package`
+	return time.Since(start) // want `time\.Since in determinism-critical package`
+}
+
+func globalDraws() int {
+	rand.Seed(99)        // want `global rand\.Seed in determinism-critical package`
+	return rand.Intn(10) // want `global rand\.Intn in determinism-critical package`
+}
+
+func sumFloatValues(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `accumulation into sum while ranging over a map`
+	}
+	return sum
+}
+
+func concatKeys(m map[string]string) string {
+	out := ""
+	for k := range m {
+		out = out + k // want `accumulation into out while ranging over a map`
+	}
+	return out
+}
+
+func collectKeysUnsorted(m map[int]bool) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k) // want `append to keys while ranging over a map`
+	}
+	return keys
+}
+
+func reduceIntoShared(m map[string]float64, out map[string]float64) {
+	for k, v := range m {
+		out["total"] += v * float64(len(k)) // want `accumulation into out while ranging over a map`
+	}
+}

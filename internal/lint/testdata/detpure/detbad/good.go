@@ -1,0 +1,46 @@
+package detbad
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Integer accumulation commutes exactly, so map order cannot change it.
+func sumIntValues(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// The collect-keys-then-sort idiom: the append is blessed by the sort
+// later in the same function.
+func sortedReduce(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// Writes indexed by the loop key touch each slot exactly once.
+func rekeyByLoopKey(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// Explicitly seeded generators stay legal; only the global stream is
+// forbidden.
+func seededDraws(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.NormFloat64()
+}

@@ -1,0 +1,17 @@
+// Package dirbad exercises the //apslint: directive grammar. The
+// malformed-directive diagnostics are asserted programmatically (a line
+// comment cannot carry a trailing want comment).
+package dirbad
+
+import "time"
+
+//apslint:deny detpure wrong verb
+
+//apslint:allow nosuchanalyzer some reason
+
+//apslint:allow detpure
+
+func stamped() time.Time {
+	//apslint:allow detpure directive is well-formed, so this call is suppressed
+	return time.Now()
+}

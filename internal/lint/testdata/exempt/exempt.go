@@ -1,0 +1,46 @@
+// Package exempt violates every determinism analyzer at once. The tests
+// load it twice: under policy-exempt import paths (repro/internal/serve,
+// cmd/*, examples/*), where the suite must stay silent, and under a
+// determinism-critical path (repro/internal/eval), where every class must
+// fire — including the ISSUE's canonical "bare time.Now() in
+// internal/eval" demonstration.
+package exempt
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Latency reads wall clocks and reduces a channel fan-in in completion
+// order — fine for serving-latency code, fatal for deterministic scoring.
+func Latency(results chan float64) (float64, time.Duration) {
+	start := time.Now()
+	var sum float64
+	for v := range results {
+		sum += v
+	}
+	return sum, time.Since(start)
+}
+
+// Jitter draws from the global math/rand stream.
+func Jitter() float64 { return rand.Float64() }
+
+// FanOut launches raw goroutines that accumulate into shared state.
+func FanOut(n int) float64 {
+	var wg sync.WaitGroup
+	var total float64
+	var mu sync.Mutex
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			v := rand.Float64()
+			mu.Lock()
+			total += v
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return total
+}

@@ -1,0 +1,48 @@
+// Package fobad exercises fixedorder. The tests load it under the
+// spoofed import path repro/internal/eval.
+package fobad
+
+import "sync"
+
+func chanRangeReduce(results chan float64) float64 {
+	var sum float64
+	for v := range results {
+		sum += v // want `channel fan-in accumulates sum in completion order`
+	}
+	return sum
+}
+
+func recvLoopReduce(results chan float64, n int) float64 {
+	var total float64
+	for i := 0; i < n; i++ {
+		total = total + <-results // want `receive loop accumulates total in completion order`
+	}
+	return total
+}
+
+func goroutineReduce(xs []float64) float64 {
+	var sum float64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(len(xs))
+	for _, x := range xs {
+		x := x
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			sum += x // want `goroutine accumulates sum into shared state in completion order`
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return sum
+}
+
+// allowedReduce demonstrates the escape hatch.
+func allowedReduce(results chan float64) float64 {
+	var sum float64
+	for v := range results {
+		sum += v //apslint:allow fixedorder fixture demonstrates the escape hatch
+	}
+	return sum
+}

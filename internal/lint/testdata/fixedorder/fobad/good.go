@@ -1,0 +1,33 @@
+package fobad
+
+import "sync"
+
+// indexedReduce is the blessed pattern: per-index results, reduced in
+// index order after the barrier.
+func indexedReduce(xs []float64) float64 {
+	out := make([]float64, len(xs))
+	var wg sync.WaitGroup
+	wg.Add(len(xs))
+	for i, x := range xs {
+		i, x := i, x
+		go func() {
+			defer wg.Done()
+			out[i] = x * 2
+		}()
+	}
+	wg.Wait()
+	var sum float64
+	for _, v := range out {
+		sum += v
+	}
+	return sum
+}
+
+// countDone accumulates an integer: exactly commutative, order-free.
+func countDone(done chan bool) int {
+	n := 0
+	for range done {
+		n += 1
+	}
+	return n
+}

@@ -1,0 +1,80 @@
+// Package fpbad exercises the fingerprint-completeness contract. The
+// Config case is the ISSUE's "delete one hash line" demonstration: Window
+// participates in output but is missing from the hash, exactly what
+// deleting a line from a real Fingerprint() produces.
+package fpbad
+
+import "fmt"
+
+func hash(parts ...any) uint64 {
+	var h uint64 = 1469598103934665603
+	for _, p := range parts {
+		for _, b := range fmt.Sprint(p) {
+			h ^= uint64(b)
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+// Config mirrors a campaign config with one hash line deleted: Window is
+// exported, unhashed, and unannotated.
+type Config struct {
+	Name    string
+	Epochs  int
+	Window  int
+	Workers int // fp:ignore scheduling knob, output is worker-count invariant
+	state   int
+}
+
+func (c Config) Fingerprint() uint64 { // want `exported field Config\.Window is neither hashed by Fingerprint nor annotated`
+	return hash("config", c.Name, c.Epochs, c.state)
+}
+
+// Remote's struct lives in another file; the pointer receiver and the
+// cross-file type lookup both have to work.
+func (r *Remote) Fingerprint() uint64 { // want `exported field Remote\.Beta is neither hashed by Fingerprint nor annotated`
+	return hash("remote", r.Alpha)
+}
+
+// Full hashes everything: no findings.
+type Full struct {
+	A, B string
+	C    float64 `json:"c"`
+}
+
+func (f Full) Fingerprint() uint64 {
+	return hash("full", f.A, f.B, f.C)
+}
+
+// Cond hashes a field conditionally (the eval.ReportConfig precision
+// pattern); a read anywhere in the body counts.
+type Cond struct {
+	Mode string
+}
+
+func (c Cond) Fingerprint() uint64 {
+	parts := []any{"cond"}
+	if c.Mode != "" {
+		parts = append(parts, c.Mode)
+	}
+	return hash(parts...)
+}
+
+// Level has a non-struct receiver: fpcomplete has nothing to check.
+type Level int
+
+func (l Level) Fingerprint() uint64 { return uint64(l) }
+
+// Wrapped embeds Base; reading through the embedded field marks it hashed,
+// while the sibling Extra is still missing.
+type Base struct{ ID string }
+
+type Wrapped struct {
+	Base
+	Extra int
+}
+
+func (w Wrapped) Fingerprint() uint64 { // want `exported field Wrapped\.Extra is neither hashed by Fingerprint nor annotated`
+	return hash("wrapped", w.Base.ID)
+}

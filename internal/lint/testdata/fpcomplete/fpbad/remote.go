@@ -1,0 +1,8 @@
+package fpbad
+
+// Remote's Fingerprint method lives in fp.go: the analyzer must find this
+// declaration to read the field annotations.
+type Remote struct {
+	Alpha float64
+	Beta  float64
+}

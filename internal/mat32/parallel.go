@@ -74,6 +74,7 @@ func runRowBlocks(rows, workers int, body func(lo, hi int)) {
 	for w := 1; w < workers; w++ {
 		lo := rows * w / workers
 		hi := rows * (w + 1) / workers
+		//apslint:allow budgetguard workers was sized by the caller's sweep grant (see planWorkers), so these launches are budget-correct
 		go func(lo, hi int) {
 			defer wg.Done()
 			body(lo, hi)

@@ -45,7 +45,7 @@ type TrainConfig struct {
 	// (clamped by the shared sweep budget). <= 0 selects all cores; 1 runs
 	// fully serial. Trained weights are byte-identical at every setting, so
 	// Workers is excluded from Fingerprint.
-	Workers int
+	Workers int // fp:ignore scheduling knob, trained weights are byte-identical at every worker count
 }
 
 // FormatVersion identifies the Save/Load encoding of trained monitors.
@@ -250,6 +250,7 @@ func fitMinibatch(model *nn.Model, x *mat.Matrix, labels []int, knowledge []floa
 	done := make(chan struct{})
 	var wg sync.WaitGroup
 	wg.Add(1)
+	//apslint:allow budgetguard single producer goroutine overlapping batch gather with training compute; it adds pipelining, not parallel compute, so it is not budget-charged
 	go func() {
 		defer wg.Done()
 		defer close(work)

@@ -37,6 +37,18 @@ func NewDense(rng *rand.Rand, in, out int) *Dense {
 	}
 }
 
+// newDenseZero builds a Dense layer with zero-valued parameters, for
+// callers that overwrite every weight immediately (deserialization).
+// Unlike NewDense it draws no random numbers.
+func newDenseZero(in, out int) *Dense {
+	return &Dense{
+		in:  in,
+		out: out,
+		w:   newParam("W", mat.New(in, out)),
+		b:   newParam("b", mat.New(1, out)),
+	}
+}
+
 // Name implements Layer.
 func (d *Dense) Name() string { return "dense" }
 

@@ -86,6 +86,21 @@ func NewLSTM(rng *rand.Rand, inputSize, hidden, steps int, returnSeqs bool) *LST
 	return l
 }
 
+// newLSTMZero builds an LSTM layer with zero-valued parameters (no forget-
+// gate bias either), for callers that overwrite every weight immediately
+// (deserialization). Unlike NewLSTM it draws no random numbers.
+func newLSTMZero(inputSize, hidden, steps int, returnSeqs bool) *LSTM {
+	return &LSTM{
+		inputSize:  inputSize,
+		hidden:     hidden,
+		steps:      steps,
+		returnSeqs: returnSeqs,
+		wx:         newParam("Wx", mat.New(inputSize, 4*hidden)),
+		wh:         newParam("Wh", mat.New(hidden, 4*hidden)),
+		b:          newParam("b", mat.New(1, 4*hidden)),
+	}
+}
+
 // Name implements Layer.
 func (l *LSTM) Name() string { return "lstm" }
 

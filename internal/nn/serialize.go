@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"math/rand"
 
 	"repro/internal/mat"
 )
@@ -86,13 +85,12 @@ func Load(r io.Reader) (*Model, error) {
 	if err := json.NewDecoder(r).Decode(&spec); err != nil {
 		return nil, fmt.Errorf("nn: load: %w", err)
 	}
-	rng := rand.New(rand.NewSource(0)) // weights are overwritten below
 	layers := make([]Layer, 0, len(spec.Layers))
 	for i, ls := range spec.Layers {
 		var layer Layer
 		switch ls.Type {
 		case "dense":
-			layer = NewDense(rng, ls.In, ls.Out)
+			layer = newDenseZero(ls.In, ls.Out)
 		case "relu":
 			layer = NewReLU()
 		case "tanh":
@@ -100,7 +98,7 @@ func Load(r io.Reader) (*Model, error) {
 		case "sigmoid":
 			layer = NewSigmoid()
 		case "lstm":
-			layer = NewLSTM(rng, ls.InputSize, ls.Hidden, ls.Steps, ls.ReturnSeqs)
+			layer = newLSTMZero(ls.InputSize, ls.Hidden, ls.Steps, ls.ReturnSeqs)
 		default:
 			return nil, fmt.Errorf("nn: load: unknown layer type %q at index %d", ls.Type, i)
 		}

@@ -126,6 +126,7 @@ func (t *Trainer) Step(x *mat.Matrix, labels []int, knowledge []float64) (float6
 		for w := 1; w < workers; w++ {
 			blo := nb * w / workers
 			bhi := nb * (w + 1) / workers
+			//apslint:allow budgetguard workers-1 tokens were acquired from the sweep budget above; block fan-out stays within the grant
 			go func(w, blo, bhi int) {
 				defer wg.Done()
 				runRange(w, blo, bhi)

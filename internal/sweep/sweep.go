@@ -92,6 +92,7 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	var wg sync.WaitGroup
 	wg.Add(workers - 1)
 	for w := 0; w < workers-1; w++ {
+		//apslint:allow budgetguard this IS the budget pool: each launch holds one AcquireWorkers token released after wg.Wait
 		go func() {
 			defer wg.Done()
 			for {
