@@ -9,6 +9,8 @@
 package repro_test
 
 import (
+	"fmt"
+	"sort"
 	"strings"
 	"testing"
 
@@ -18,6 +20,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/experiments"
 	"repro/internal/mat"
+	"repro/internal/metrics"
 	"repro/internal/monitor"
 	"repro/internal/sweep"
 )
@@ -709,4 +712,70 @@ func BenchmarkInferF32(b *testing.B) {
 	b.Run("serial", func(b *testing.B) { benchInfer(b, 1, true) })
 	b.Run("parallel8", func(b *testing.B) { benchInfer(b, 8, true) })
 	b.Run("f64twin", func(b *testing.B) { benchInfer(b, 1, false) })
+}
+
+// syntheticShardReports builds one evaluation surface's per-shard reports:
+// count shards, each carrying sliced confusion counts and raw latency
+// multisets — the payload shape a fleet hands eval.MergeReports. Contents
+// are a fixed function of (shard, slice), so the benchmark input is
+// identical on every run.
+func syntheticShardReports(count, episodesPerSlice int) []*eval.Report {
+	keys := []string{"irregular_meals", "nominal", "overdose", "random_fault", "sensor_drift", "suspend"}
+	mkSlice := func(shard, salt int, key string) eval.Slice {
+		lats := make([]int, episodesPerSlice)
+		for i := range lats {
+			lats[i] = (shard*7919 + salt*613 + i*31) % 40
+		}
+		sort.Ints(lats)
+		conf := metrics.Confusion{
+			TP: episodesPerSlice + salt, FP: shard + salt,
+			TN: 40 * episodesPerSlice, FN: shard,
+		}
+		return eval.Slice{
+			Key:       key,
+			Episodes:  episodesPerSlice,
+			Samples:   44 * episodesPerSlice,
+			Confusion: conf,
+			F1:        conf.F1(),
+			Latencies: lats,
+			Latency:   metrics.SummarizeLatency(lats, shard%2),
+		}
+	}
+	reps := make([]*eval.Report, count)
+	for s := range reps {
+		rep := &eval.Report{
+			FormatVersion: eval.FormatVersion,
+			Simulator:     "bench",
+			Monitor:       "mlp",
+			Tolerance:     12,
+			Episodes:      len(keys) * episodesPerSlice,
+			Samples:       len(keys) * 44 * episodesPerSlice,
+			Overall:       mkSlice(s, 0, "overall"),
+		}
+		for j, key := range keys {
+			rep.Scenarios = append(rep.Scenarios, mkSlice(s, j+1, key))
+			rep.Faults = append(rep.Faults, mkSlice(s, j+7, key))
+		}
+		reps[s] = rep
+	}
+	return reps
+}
+
+// BenchmarkShardMerge measures the fleet-merge fold itself: left-folding
+// one surface's per-shard reports into the monolithic report, re-sorting
+// latency multisets and recomputing every derived statistic, at two fleet
+// widths. Gated in CI against BENCH_BASELINE.json — the fold is pure slice
+// arithmetic and must stay negligible next to evaluation.
+func BenchmarkShardMerge(b *testing.B) {
+	for _, shards := range []int{4, 16} {
+		reps := syntheticShardReports(shards, 32)
+		b.Run(fmt.Sprintf("shards%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := eval.MergeReports(reps); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

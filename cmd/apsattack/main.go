@@ -39,16 +39,13 @@ import (
 	"os"
 	"runtime"
 
-	"repro/internal/artifact"
 	"repro/internal/attack"
+	"repro/internal/cliconfig"
 	"repro/internal/dataset"
 	"repro/internal/eval"
 	"repro/internal/experiments"
-	"repro/internal/mat"
 	"repro/internal/metrics"
 	"repro/internal/monitor"
-	"repro/internal/sim"
-	"repro/internal/sweep"
 )
 
 func main() {
@@ -58,66 +55,74 @@ func main() {
 	}
 }
 
+// appFlags is apsattack's full flag surface, registered by addFlags so the
+// help golden test can render it.
+type appFlags struct {
+	common *cliconfig.Common
+	simu   *string
+	arch   *string
+	epochs *int
+
+	semantic  *bool
+	kind      *string
+	level     *float64
+	report    *bool
+	reportOut *string
+}
+
+func addFlags(fs *flag.FlagSet) *appFlags {
+	f := &appFlags{
+		common: cliconfig.AddCommon(fs, cliconfig.CommonDefaults{
+			Seed:      1,
+			Parallel:  runtime.GOMAXPROCS(0),
+			Precision: eval.PrecisionF64,
+		}),
+		simu:   cliconfig.AddSim(fs),
+		arch:   cliconfig.AddArch(fs),
+		epochs: cliconfig.AddEpochs(fs, 15),
+	}
+	f.semantic = fs.Bool("semantic", false, "train the monitor with the semantic loss")
+	f.kind = fs.String("attack", "fgsm", "attack: gaussian, fgsm, pgd, or blackbox")
+	f.level = fs.Float64("level", 0.1, "σ (gaussian) or ε (fgsm/pgd/blackbox)")
+	f.report = fs.Bool("report", false, "render clean and attacked sliced evaluation reports")
+	f.reportOut = fs.String("report-out", "", "write the JSON report set here (implies -report)")
+	return f
+}
+
 func run() error {
-	simName := flag.String("sim", "glucosym", "simulator: glucosym or t1ds")
-	arch := flag.String("arch", "mlp", "architecture: mlp or lstm")
-	semantic := flag.Bool("semantic", false, "train the monitor with the semantic loss")
-	kind := flag.String("attack", "fgsm", "attack: gaussian, fgsm, pgd, or blackbox")
-	scenarios := flag.String("scenarios", "", "campaign scenario mix, e.g. 'nominal:1,random_fault:1,sensor_drift:0.5'")
-	level := flag.Float64("level", 0.1, "σ (gaussian) or ε (fgsm/pgd/blackbox)")
-	epochs := flag.Int("epochs", 15, "training epochs")
-	seed := flag.Int64("seed", 1, "seed")
-	report := flag.Bool("report", false, "render clean and attacked sliced evaluation reports")
-	reportOut := flag.String("report-out", "", "write the JSON report set here (implies -report)")
-	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for training and matrix products (1 = serial)")
-	precision := flag.String("precision", "f64", "monitor inference arithmetic: f64 (canonical) or f32 (frozen fast path; attack gradients stay f64)")
-	cache := artifact.AddFlags(flag.CommandLine)
+	f := addFlags(flag.CommandLine)
 	flag.Parse()
-	if *parallel < 1 {
-		return fmt.Errorf("-parallel %d, want >= 1", *parallel)
-	}
-	if err := experiments.SetPrecision(*precision); err != nil {
+	parallel, err := f.common.ApplyBudget()
+	if err != nil {
 		return err
-	}
-	if *reportOut != "" {
-		*report = true
 	}
 	// The experiments-level worker knob also drives the scoring adapters
 	// (Score/ScoreEpisodes fan episodes out through it), so -parallel 1
 	// really is serial end to end.
-	experiments.SetWorkers(*parallel)
-	mat.SetParallelism(*parallel)
-	sweep.SetBudget(*parallel)
-	store := cache.Open(log.Printf)
+	if err := experiments.Configure(parallel, f.common.Precision); err != nil {
+		return err
+	}
+	if *f.reportOut != "" {
+		*f.report = true
+	}
+	store := f.common.OpenStore(log.Printf)
 
-	var simu dataset.Simulator
-	switch *simName {
-	case "glucosym":
-		simu = dataset.Glucosym
-	case "t1ds":
-		simu = dataset.T1DS
-	default:
-		return fmt.Errorf("unknown simulator %q", *simName)
-	}
-	var a monitor.Arch
-	switch *arch {
-	case "mlp":
-		a = monitor.ArchMLP
-	case "lstm":
-		a = monitor.ArchLSTM
-	default:
-		return fmt.Errorf("unknown architecture %q", *arch)
-	}
-
-	camp := dataset.CampaignConfig{
-		Simulator: simu, Profiles: 10, EpisodesPerProfile: 4, Steps: 150, Seed: *seed,
-		Workers: *parallel,
-	}
-	mix, err := sim.ParseScenarioMixFlag(*scenarios)
+	simu, err := cliconfig.ParseSimulator(*f.simu)
 	if err != nil {
 		return err
 	}
-	camp.Scenarios = mix
+	a, err := cliconfig.ParseArch(*f.arch)
+	if err != nil {
+		return err
+	}
+
+	// The attack campaign shape is fixed (apstrain's default): attacks
+	// compare monitors, not campaign sizes.
+	camp, err := f.common.CampaignConfig(simu, &cliconfig.Shape{Profiles: 10, Episodes: 4, Steps: 150}, parallel)
+	if err != nil {
+		return err
+	}
+	seed := f.common.Seed
 	const trainFrac = 0.75
 	ds, _, err := experiments.CachedCampaign(store, camp)
 	if err != nil {
@@ -128,20 +133,20 @@ func run() error {
 		return err
 	}
 	m, _, err := experiments.CachedMonitor(store, train, camp, trainFrac, monitor.TrainConfig{
-		Arch: a, Semantic: *semantic, Epochs: *epochs, Seed: *seed, Workers: *parallel,
+		Arch: a, Semantic: *f.semantic, Epochs: *f.epochs, Seed: seed, Workers: parallel,
 	})
 	if err != nil {
 		return err
 	}
 
 	const delta = 12
-	opts := eval.Options{Tolerance: delta, Workers: *parallel, Precision: experiments.Precision()}
+	opts := eval.Options{Tolerance: delta, Workers: parallel, Precision: experiments.Precision()}
 
 	// Report mode evaluates the clean pass exactly once: the sliced report's
 	// overall confusion also supplies the summary line.
 	var cleanRep *eval.Report
 	var clean metrics.Confusion
-	if *report {
+	if *f.report {
 		cleanRep, err = eval.Evaluate(m, test, opts)
 		if err != nil {
 			return err
@@ -158,9 +163,10 @@ func run() error {
 	// Every arm produces the attacked per-sample prediction vector, so the
 	// sliced attacked report comes from the same pass as the summary line.
 	var advPred []int
-	switch *kind {
+	level := *f.level
+	switch *f.kind {
 	case "gaussian":
-		noisy, err := dataset.GaussianNoisySamples(rand.New(rand.NewSource(*seed+5)), test, *level)
+		noisy, err := dataset.GaussianNoisySamples(rand.New(rand.NewSource(seed+5)), test, level)
 		if err != nil {
 			return err
 		}
@@ -172,15 +178,15 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		re, err := experiments.GaussianRobustness(m, test, *level, *seed+5)
+		re, err := experiments.GaussianRobustness(m, test, level, seed+5)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("gaussian σ=%.2f·std: F1=%.3f (Δ=%.3f), robustness error=%.3f\n",
-			*level, c.F1(), clean.F1()-c.F1(), re)
+			level, c.F1(), clean.F1()-c.F1(), re)
 	case "fgsm":
 		labels := test.Labels()
-		p := experiments.FGSMPerturbation(m, labels, *level)
+		p := experiments.FGSMPerturbation(m, labels, level)
 		advPred, err = experiments.Predictions(m, test, p)
 		if err != nil {
 			return err
@@ -194,10 +200,10 @@ func run() error {
 			return err
 		}
 		fmt.Printf("white-box FGSM ε=%.2f: F1=%.3f (Δ=%.3f), robustness error=%.3f\n",
-			*level, c.F1(), clean.F1()-c.F1(), re)
+			level, c.F1(), clean.F1()-c.F1(), re)
 	case "pgd":
 		labels := test.Labels()
-		p := experiments.PGDPerturbation(m, labels, test.Knowledge(), attack.PGDConfig{Eps: *level})
+		p := experiments.PGDPerturbation(m, labels, test.Knowledge(), attack.PGDConfig{Eps: level})
 		advPred, err = experiments.Predictions(m, test, p)
 		if err != nil {
 			return err
@@ -211,7 +217,7 @@ func run() error {
 			return err
 		}
 		fmt.Printf("white-box PGD ε=%.2f (10 steps): F1=%.3f (Δ=%.3f), robustness error=%.3f\n",
-			*level, c.F1(), clean.F1()-c.F1(), re)
+			level, c.F1(), clean.F1()-c.F1(), re)
 	case "blackbox":
 		qx, err := m.InputMatrix(train.Samples)
 		if err != nil {
@@ -221,7 +227,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		sub, err := attack.TrainSubstitute(qx, qPred, attack.SubstituteConfig{Epochs: 30, Seed: *seed + 9})
+		sub, err := attack.TrainSubstitute(qx, qPred, attack.SubstituteConfig{Epochs: 30, Seed: seed + 9})
 		if err != nil {
 			return err
 		}
@@ -233,7 +239,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		adv, err := attack.BlackBoxFGSM(sub, tx, tPred, *level)
+		adv, err := attack.BlackBoxFGSM(sub, tx, tPred, level)
 		if err != nil {
 			return err
 		}
@@ -245,28 +251,28 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("black-box FGSM ε=%.2f (substitute transfer): robustness error=%.3f\n", *level, re)
+		fmt.Printf("black-box FGSM ε=%.2f (substitute transfer): robustness error=%.3f\n", level, re)
 	default:
-		return fmt.Errorf("unknown attack %q", *kind)
+		return fmt.Errorf("unknown attack %q", *f.kind)
 	}
 
-	if *report {
-		advRep, err := eval.EvaluatePredictions(fmt.Sprintf("%s+%s@%.2f", m.Name(), *kind, *level), advPred, test, opts)
+	if *f.report {
+		advRep, err := eval.EvaluatePredictions(fmt.Sprintf("%s+%s@%.2f", m.Name(), *f.kind, level), advPred, test, opts)
 		if err != nil {
 			return err
 		}
 		set := &eval.Set{Tolerance: delta, Reports: []*eval.Report{cleanRep, advRep}}
 		fmt.Print(experiments.RenderReportSet(set))
-		if *reportOut != "" {
-			f, err := os.Create(*reportOut)
+		if *f.reportOut != "" {
+			file, err := os.Create(*f.reportOut)
 			if err != nil {
 				return err
 			}
-			defer f.Close()
-			if err := set.Save(f); err != nil {
+			defer file.Close()
+			if err := set.Save(file); err != nil {
 				return err
 			}
-			fmt.Printf("report set written to %s\n", *reportOut)
+			fmt.Printf("report set written to %s\n", *f.reportOut)
 		}
 	}
 	return nil

@@ -41,14 +41,10 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/artifact"
-	"repro/internal/dataset"
+	"repro/internal/cliconfig"
 	"repro/internal/experiments"
-	"repro/internal/mat"
 	"repro/internal/monitor"
 	"repro/internal/serve"
-	"repro/internal/sim"
-	"repro/internal/sweep"
 )
 
 func main() {
@@ -58,63 +54,94 @@ func main() {
 	}
 }
 
-func run() error {
-	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
-	modelPath := flag.String("model", "", "serve this trained model JSON instead of training")
-	simName := flag.String("sim", "glucosym", "simulator: glucosym or t1ds (training path)")
-	arch := flag.String("arch", "mlp", "architecture: mlp or lstm (training path)")
-	epochs := flag.Int("epochs", 15, "training epochs")
-	profiles := flag.Int("profiles", 10, "patient profiles")
-	episodes := flag.Int("episodes", 4, "episodes per profile")
-	steps := flag.Int("steps", 150, "steps per episode")
-	scenarios := flag.String("scenarios", "", "campaign scenario mix, e.g. 'nominal:1,random_fault:1'")
-	seed := flag.Int64("seed", 1, "seed")
-	precision := flag.String("precision", serve.PrecisionF32, "inference arithmetic: f32 (frozen fast path) or f64 (canonical)")
-	bypass := flag.Bool("bypass", false, "disable micro-batching: classify every request inline (baseline)")
-	batchMax := flag.Int("batch-max", 0, "micro-batch fuse limit (0 = default 32)")
-	batchWait := flag.Duration("batch-wait", 0, "max time a row waits for batch-mates (0 = default 1ms)")
-	maxQueue := flag.Int("max-queue", 0, "dispatcher queue depth before 429s (0 = default 32×batch-max)")
-	maxSessions := flag.Int("max-sessions", 1024, "live session cap (creation beyond it gets 429)")
-	idleTimeout := flag.Duration("idle-timeout", 5*time.Minute, "evict sessions idle this long (<0 disables)")
-	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for matrix products (1 = serial)")
-	debM := flag.Int("debounce-m", 0, "default session debounce m (m-of-n, 0 = raw verdicts)")
-	debN := flag.Int("debounce-n", 0, "default session debounce n")
-	cusumK := flag.Float64("cusum-k", 0, "default session CUSUM reference k")
-	cusumH := flag.Float64("cusum-h", 0, "default session CUSUM threshold h (0 disables drift)")
-	loadgen := flag.Int("loadgen", 0, "self-benchmark with N concurrent synthetic sessions, then exit")
-	loadSamples := flag.Int("loadgen-samples", 64, "samples per synthetic session")
-	loadMode := flag.String("loadgen-mode", "stream", "loadgen transport: stream (NDJSON) or request (one POST per sample)")
-	loadSeed := flag.Int64("loadgen-seed", 1, "loadgen script seed")
-	cache := artifact.AddFlags(flag.CommandLine)
-	flag.Parse()
-	if *parallel < 1 {
-		return fmt.Errorf("-parallel %d, want >= 1", *parallel)
-	}
-	mat.SetParallelism(*parallel)
-	sweep.SetBudget(*parallel)
+// appFlags is apserve's full flag surface, registered by addFlags so the
+// help golden test can render it.
+type appFlags struct {
+	common *cliconfig.Common
+	simu   *string
+	arch   *string
+	shape  *cliconfig.Shape
+	epochs *int
 
-	m, err := loadOrTrain(*modelPath, *simName, *arch, *epochs, *profiles, *episodes, *steps, *scenarios, *seed, *parallel, cache)
+	addr        *string
+	modelPath   *string
+	bypass      *bool
+	batchMax    *int
+	batchWait   *time.Duration
+	maxQueue    *int
+	maxSessions *int
+	idleTimeout *time.Duration
+	debM        *int
+	debN        *int
+	cusumK      *float64
+	cusumH      *float64
+	loadgen     *int
+	loadSamples *int
+	loadMode    *string
+	loadSeed    *int64
+}
+
+func addFlags(fs *flag.FlagSet) *appFlags {
+	f := &appFlags{
+		common: cliconfig.AddCommon(fs, cliconfig.CommonDefaults{
+			Seed:      1,
+			Parallel:  runtime.GOMAXPROCS(0),
+			Precision: serve.PrecisionF32,
+		}),
+		simu:   cliconfig.AddSim(fs),
+		arch:   cliconfig.AddArch(fs),
+		shape:  cliconfig.AddShape(fs, 10, 4, 150),
+		epochs: cliconfig.AddEpochs(fs, 15),
+	}
+	f.addr = fs.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+	f.modelPath = fs.String("model", "", "serve this trained model JSON instead of training")
+	f.bypass = fs.Bool("bypass", false, "disable micro-batching: classify every request inline (baseline)")
+	f.batchMax = fs.Int("batch-max", 0, "micro-batch fuse limit (0 = default 32)")
+	f.batchWait = fs.Duration("batch-wait", 0, "max time a row waits for batch-mates (0 = default 1ms)")
+	f.maxQueue = fs.Int("max-queue", 0, "dispatcher queue depth before 429s (0 = default 32×batch-max)")
+	f.maxSessions = fs.Int("max-sessions", 1024, "live session cap (creation beyond it gets 429)")
+	f.idleTimeout = fs.Duration("idle-timeout", 5*time.Minute, "evict sessions idle this long (<0 disables)")
+	f.debM = fs.Int("debounce-m", 0, "default session debounce m (m-of-n, 0 = raw verdicts)")
+	f.debN = fs.Int("debounce-n", 0, "default session debounce n")
+	f.cusumK = fs.Float64("cusum-k", 0, "default session CUSUM reference k")
+	f.cusumH = fs.Float64("cusum-h", 0, "default session CUSUM threshold h (0 disables drift)")
+	f.loadgen = fs.Int("loadgen", 0, "self-benchmark with N concurrent synthetic sessions, then exit")
+	f.loadSamples = fs.Int("loadgen-samples", 64, "samples per synthetic session")
+	f.loadMode = fs.String("loadgen-mode", "stream", "loadgen transport: stream (NDJSON) or request (one POST per sample)")
+	f.loadSeed = fs.Int64("loadgen-seed", 1, "loadgen script seed")
+	return f
+}
+
+func run() error {
+	f := addFlags(flag.CommandLine)
+	flag.Parse()
+	parallel, err := f.common.ApplyBudget()
+	if err != nil {
+		return err
+	}
+
+	m, err := loadOrTrain(f, parallel)
 	if err != nil {
 		return err
 	}
 
 	srv, err := serve.New(serve.Config{
 		Monitor:     m,
-		Precision:   *precision,
-		Bypass:      *bypass,
-		Batcher:     serve.BatcherConfig{MaxBatch: *batchMax, MaxWait: *batchWait, MaxQueue: *maxQueue},
-		MaxSessions: *maxSessions,
-		IdleTimeout: *idleTimeout,
+		Precision:   f.common.Precision,
+		Bypass:      *f.bypass,
+		Batcher:     serve.BatcherConfig{MaxBatch: *f.batchMax, MaxWait: *f.batchWait, MaxQueue: *f.maxQueue},
+		MaxSessions: *f.maxSessions,
+		IdleTimeout: *f.idleTimeout,
 		Session: serve.SessionConfig{
-			DebounceM: *debM, DebounceN: *debN,
-			CUSUMK: *cusumK, CUSUMH: *cusumH,
+			DebounceM: *f.debM, DebounceN: *f.debN,
+			CUSUMK: *f.cusumK, CUSUMH: *f.cusumH,
 		},
 	})
 	if err != nil {
 		return err
 	}
 
-	ln, err := net.Listen("tcp", *addr)
+	ln, err := net.Listen("tcp", *f.addr)
 	if err != nil {
 		srv.Close()
 		return err
@@ -123,14 +150,14 @@ func run() error {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 	mode := "micro-batched"
-	if *bypass {
+	if *f.bypass {
 		mode = "bypass"
 	}
 	fmt.Printf("apserve: %s on http://%s (%s, %s, window %d)\n",
-		m.Name(), ln.Addr(), mode, *precision, srv.Window())
+		m.Name(), ln.Addr(), mode, f.common.Precision, srv.Window())
 
-	if *loadgen > 0 {
-		err := runLoadgen(ln.Addr().String(), *loadgen, *loadSamples, *loadMode, *loadSeed, srv)
+	if *f.loadgen > 0 {
+		err := runLoadgen(ln.Addr().String(), *f.loadgen, *f.loadSamples, *f.loadMode, *f.loadSeed, srv)
 		shutdown(httpSrv, srv)
 		return err
 	}
@@ -185,53 +212,34 @@ func runLoadgen(addr string, sessions, samples int, mode string, seed int64, srv
 
 // loadOrTrain either loads a saved model or reproduces apstrain's
 // content-addressed campaign + training path.
-func loadOrTrain(path, simName, arch string, epochs, profiles, episodes, steps int, scenarios string, seed int64, parallel int, cache *artifact.Flags) (*monitor.MLMonitor, error) {
-	if path != "" {
-		f, err := os.Open(path)
+func loadOrTrain(f *appFlags, parallel int) (*monitor.MLMonitor, error) {
+	if *f.modelPath != "" {
+		file, err := os.Open(*f.modelPath)
 		if err != nil {
 			return nil, err
 		}
-		defer f.Close()
-		m, err := monitor.Load(f)
+		defer file.Close()
+		m, err := monitor.Load(file)
 		if err != nil {
-			return nil, fmt.Errorf("load %s: %w", path, err)
+			return nil, fmt.Errorf("load %s: %w", *f.modelPath, err)
 		}
-		fmt.Printf("model loaded from %s\n", path)
+		fmt.Printf("model loaded from %s\n", *f.modelPath)
 		return m, nil
 	}
 
-	var simu dataset.Simulator
-	switch simName {
-	case "glucosym":
-		simu = dataset.Glucosym
-	case "t1ds":
-		simu = dataset.T1DS
-	default:
-		return nil, fmt.Errorf("unknown simulator %q", simName)
-	}
-	var a monitor.Arch
-	switch arch {
-	case "mlp":
-		a = monitor.ArchMLP
-	case "lstm":
-		a = monitor.ArchLSTM
-	default:
-		return nil, fmt.Errorf("unknown architecture %q", arch)
-	}
-	mix, err := sim.ParseScenarioMixFlag(scenarios)
+	simu, err := cliconfig.ParseSimulator(*f.simu)
 	if err != nil {
 		return nil, err
 	}
-	camp := dataset.CampaignConfig{
-		Simulator:          simu,
-		Profiles:           profiles,
-		EpisodesPerProfile: episodes,
-		Steps:              steps,
-		Seed:               seed,
-		Workers:            parallel,
-		Scenarios:          mix,
+	a, err := cliconfig.ParseArch(*f.arch)
+	if err != nil {
+		return nil, err
 	}
-	store := cache.Open(log.Printf)
+	camp, err := f.common.CampaignConfig(simu, f.shape, parallel)
+	if err != nil {
+		return nil, err
+	}
+	store := f.common.OpenStore(log.Printf)
 	ds, hit, err := experiments.CachedCampaign(store, camp)
 	if err != nil {
 		return nil, err
@@ -241,13 +249,13 @@ func loadOrTrain(path, simName, arch string, epochs, profiles, episodes, steps i
 		source = "loaded from artifact cache"
 	}
 	fmt.Printf("campaign %s (%s, %d profiles × %d episodes × %d steps)\n",
-		source, simu, profiles, episodes, steps)
+		source, simu, f.shape.Profiles, f.shape.Episodes, f.shape.Steps)
 	const trainFrac = 0.75
 	train, _, err := ds.Split(trainFrac)
 	if err != nil {
 		return nil, err
 	}
-	tc := monitor.TrainConfig{Arch: a, Epochs: epochs, Seed: seed, Workers: parallel}
+	tc := monitor.TrainConfig{Arch: a, Epochs: *f.epochs, Seed: f.common.Seed, Workers: parallel}
 	m, hit, err := experiments.CachedMonitor(store, train, camp, trainFrac, tc)
 	if err != nil {
 		return nil, err

@@ -6,7 +6,8 @@
 //	               [-profiles N] [-episodes N] [-steps N] [-epochs N] [-seed N]
 //	               [-scenarios MIX] [-parallel N] [-precision f64|f32]
 //	               [-cache DIR] [-no-cache]
-//	apsexperiments -report [-out report.json] [same flags]
+//	apsexperiments -report [-out report.json] [-shards N [-shard I]] [same flags]
+//	apsexperiments -merge-reports [-out report.json] shard1.json shard2.json ...
 //
 // -report renders the unified evaluation report instead of the figure
 // experiments: per-scenario and per-fault-type F1 + detection-latency rows
@@ -16,6 +17,16 @@
 // report set as JSON (and implies -report). In report mode stdout carries
 // only the report, so the output diffs clean across -parallel settings;
 // status goes to stderr.
+//
+// Fleet mode: -report -shards N -shard I evaluates only shard I of the
+// campaign's N-way episode-range split, caching each per-shard report under
+// its shard sub-fingerprint — N processes sharing one -cache each score
+// only their slice, and a changed shard config re-evaluates only that
+// shard. -shards N without -shard evaluates every shard in-process and
+// merges. -merge-reports folds eval.Report.Merge over per-shard report-set
+// JSON files (the -out payloads of the shard runs, in shard order) and
+// renders + writes the merged set; merged output is byte-identical to the
+// unsharded -report run.
 //
 // -scenarios overrides the campaign scenario mix ("name[:weight],…" over the
 // sim.Scenarios registry, default "nominal:1,random_fault:1"); each
@@ -48,11 +59,9 @@ import (
 	"runtime"
 	"time"
 
-	"repro/internal/artifact"
+	"repro/internal/cliconfig"
+	"repro/internal/eval"
 	"repro/internal/experiments"
-	"repro/internal/mat"
-	"repro/internal/sim"
-	"repro/internal/sweep"
 )
 
 func main() {
@@ -62,48 +71,83 @@ func main() {
 	}
 }
 
+// appFlags is apsexperiments' full flag surface, registered by addFlags so
+// the help golden test can render it.
+type appFlags struct {
+	common *cliconfig.Common
+	shape  *cliconfig.Shape
+	epochs *int
+	shards *cliconfig.Shards
+
+	exp          *string
+	report       *bool
+	mergeReports *bool
+	out          *string
+	scale        *string
+	weight       *float64
+}
+
+func addFlags(fs *flag.FlagSet) *appFlags {
+	f := &appFlags{
+		common: cliconfig.AddCommon(fs, cliconfig.CommonDefaults{
+			Seed:           0,
+			SeedUsage:      "override: campaign/training seed",
+			Parallel:       runtime.GOMAXPROCS(0),
+			Precision:      eval.PrecisionF64,
+			ScenariosUsage: "override: campaign scenario mix, e.g. 'nominal:1,random_fault:1,sensor_drift:0.5' (see README)",
+		}),
+		shape:  cliconfig.AddShape(fs, 0, 0, 0),
+		epochs: cliconfig.AddEpochs(fs, 0),
+		shards: cliconfig.AddShards(fs),
+	}
+	f.exp = fs.String("exp", "all", "experiment id (table3, fig1b, fig2..fig10) or 'all'")
+	f.report = fs.Bool("report", false, "render the per-scenario evaluation report instead of the figure experiments")
+	f.mergeReports = fs.Bool("merge-reports", false, "merge per-shard report-set JSON files (positional args, in shard order) into one report")
+	f.out = fs.String("out", "", "write the JSON report set here (implies -report)")
+	f.scale = fs.String("scale", "default", "preset: bench, default, or paper")
+	f.weight = fs.Float64("semantic-weight", 0, "override: semantic loss weight w")
+	return f
+}
+
 func run() error {
-	exp := flag.String("exp", "all", "experiment id (table3, fig1b, fig2..fig10) or 'all'")
-	report := flag.Bool("report", false, "render the per-scenario evaluation report instead of the figure experiments")
-	out := flag.String("out", "", "write the JSON report set here (implies -report)")
-	scale := flag.String("scale", "default", "preset: bench, default, or paper")
-	profiles := flag.Int("profiles", 0, "override: patient profiles per simulator")
-	episodes := flag.Int("episodes", 0, "override: episodes per profile")
-	steps := flag.Int("steps", 0, "override: steps per episode")
-	epochs := flag.Int("epochs", 0, "override: training epochs")
-	seed := flag.Int64("seed", 0, "override: campaign/training seed")
-	scenarios := flag.String("scenarios", "", "override: campaign scenario mix, e.g. 'nominal:1,random_fault:1,sensor_drift:0.5' (see README)")
-	weight := flag.Float64("semantic-weight", 0, "override: semantic loss weight w")
-	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for sweeps and matrix products (1 = serial)")
-	precision := flag.String("precision", "f64", "inference arithmetic: f64 (canonical) or f32 (frozen fast path)")
-	cache := artifact.AddFlags(flag.CommandLine)
+	f := addFlags(flag.CommandLine)
 	flag.Parse()
 
-	if *parallel < 1 {
-		return fmt.Errorf("-parallel %d, want >= 1", *parallel)
-	}
-	if err := experiments.SetPrecision(*precision); err != nil {
+	parallel, err := f.common.ApplyBudget()
+	if err != nil {
 		return err
 	}
-	if *out != "" {
-		*report = true // -out has no meaning without the report surface
+	if err := experiments.Configure(parallel, f.common.Precision); err != nil {
+		return err
+	}
+	if err := f.shards.Validate(); err != nil {
+		return err
+	}
+	if *f.out != "" {
+		*f.report = true // -out has no meaning without the report surface
 	}
 	expSet := false
-	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "exp" {
+	flag.Visit(func(fl *flag.Flag) {
+		if fl.Name == "exp" {
 			expSet = true
 		}
 	})
-	if *report && expSet {
+	if *f.mergeReports {
+		if expSet || f.shards.Enabled() {
+			return fmt.Errorf("-merge-reports takes only per-shard report files (not -exp or -shards)")
+		}
+		return runMergeReports(flag.Args(), *f.out)
+	}
+	if *f.report && expSet {
 		return fmt.Errorf("-exp selects figure experiments and cannot be combined with -report/-out")
 	}
-	experiments.SetWorkers(*parallel)
-	mat.SetParallelism(*parallel)
-	sweep.SetBudget(*parallel)
-	experiments.SetStore(cache.Open(log.Printf))
+	if f.shards.Enabled() && !*f.report {
+		return fmt.Errorf("-shards requires -report (shard the report evaluation) or -merge-reports")
+	}
+	experiments.SetStore(f.common.OpenStore(log.Printf))
 
 	var cfg experiments.Config
-	switch *scale {
+	switch *f.scale {
 	case "bench":
 		cfg = experiments.Bench()
 	case "default":
@@ -111,39 +155,39 @@ func run() error {
 	case "paper":
 		cfg = experiments.Paper()
 	default:
-		return fmt.Errorf("unknown scale %q", *scale)
+		return fmt.Errorf("unknown scale %q", *f.scale)
 	}
-	if *profiles > 0 {
-		cfg.Profiles = *profiles
+	if f.shape.Profiles > 0 {
+		cfg.Profiles = f.shape.Profiles
 	}
-	if *episodes > 0 {
-		cfg.EpisodesPerProfile = *episodes
+	if f.shape.Episodes > 0 {
+		cfg.EpisodesPerProfile = f.shape.Episodes
 	}
-	if *steps > 0 {
-		cfg.Steps = *steps
+	if f.shape.Steps > 0 {
+		cfg.Steps = f.shape.Steps
 	}
-	if *epochs > 0 {
-		cfg.Epochs = *epochs
+	if *f.epochs > 0 {
+		cfg.Epochs = *f.epochs
 	}
-	if *seed != 0 {
-		cfg.Seed = *seed
+	if f.common.Seed != 0 {
+		cfg.Seed = f.common.Seed
 	}
-	if *weight > 0 {
-		cfg.SemanticWeight = *weight
+	if *f.weight > 0 {
+		cfg.SemanticWeight = *f.weight
 	}
-	mix, err := sim.ParseScenarioMixFlag(*scenarios)
+	mix, err := f.common.Mix()
 	if err != nil {
 		return err
 	}
 	cfg.Scenarios = mix
 
 	status := os.Stdout
-	if *report {
+	if *f.report {
 		// Report mode keeps stdout byte-identical across -parallel settings
 		// and warm/cold runs: only the report itself goes there.
 		status = os.Stderr
 	}
-	fmt.Fprintf(status, "generating campaigns (%s, parallel=%d)...\n", cfg, *parallel)
+	fmt.Fprintf(status, "generating campaigns (%s, parallel=%d)...\n", cfg, parallel)
 	t0 := time.Now()
 	assets, err := experiments.Shared(cfg)
 	if err != nil {
@@ -151,28 +195,37 @@ func run() error {
 	}
 	fmt.Fprintf(status, "datasets ready in %v (monitors train lazily on first use)\n\n", time.Since(t0).Round(time.Millisecond))
 
-	if *report {
-		res, err := experiments.Reports(assets)
+	if *f.report {
+		var res *experiments.ReportsResult
+		switch {
+		case f.shards.Enabled() && f.shards.Index >= 0:
+			fmt.Fprintf(status, "evaluating shard %d/%d\n", f.shards.Index, f.shards.Count)
+			res, err = experiments.ShardReports(assets, f.shards.Count, f.shards.Index)
+		case f.shards.Enabled():
+			res, err = experiments.MergedShardReports(assets, f.shards.Count)
+		default:
+			res, err = experiments.Reports(assets)
+		}
 		if err != nil {
 			return err
 		}
 		fmt.Print(res.Render())
-		if *out != "" {
-			f, err := os.Create(*out)
+		if *f.out != "" {
+			file, err := os.Create(*f.out)
 			if err != nil {
 				return err
 			}
-			defer f.Close()
-			if err := res.Set.Save(f); err != nil {
+			defer file.Close()
+			if err := res.Set.Save(file); err != nil {
 				return err
 			}
-			fmt.Fprintf(status, "report set written to %s\n", *out)
+			fmt.Fprintf(status, "report set written to %s\n", *f.out)
 		}
 		return nil
 	}
 
-	ids := []string{*exp}
-	if *exp == "all" {
+	ids := []string{*f.exp}
+	if *f.exp == "all" {
 		ids = experiments.ExperimentIDs()
 	}
 	for _, id := range ids {
@@ -181,6 +234,45 @@ func run() error {
 			return err
 		}
 		fmt.Printf("[%s done in %v]\n\n", id, time.Since(t1).Round(time.Millisecond))
+	}
+	return nil
+}
+
+// runMergeReports folds the per-shard report sets (JSON files written by
+// `-report -shards N -shard I -out ...`, passed in shard order) into the
+// merged set, rendering it to stdout exactly like an unsharded -report run
+// and writing the merged JSON when -out is given.
+func runMergeReports(paths []string, out string) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("-merge-reports needs at least one per-shard report JSON file")
+	}
+	sets := make([]*eval.Set, len(paths))
+	for i, path := range paths {
+		file, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		sets[i], err = eval.LoadSet(file)
+		file.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	merged, err := eval.MergeSets(sets)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderReportSet(merged))
+	if out != "" {
+		file, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		if err := merged.Save(file); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "report set written to %s\n", out)
 	}
 	return nil
 }

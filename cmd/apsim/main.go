@@ -10,6 +10,7 @@
 //
 //	apsim -campaign [-sim glucosym|t1ds] [-profiles N] [-episodes N]
 //	      [-steps N] [-seed N] [-scenarios MIX] [-parallel N] [-out FILE]
+//	      [-shards N [-shard I]]
 //
 // Single-episode mode: -scenario applies one named generator from the
 // sim.Scenarios registry (nominal, overdose, underdose, suspend, stuck,
@@ -22,20 +23,25 @@
 // bytes are identical at every -parallel setting (the CI determinism smoke
 // diffs -parallel 1 against -parallel 8).
 //
-// -cache/-no-cache are accepted for uniformity with the rest of the
-// toolchain; apsim always simulates.
+// Fleet mode: -shards N splits the campaign into N disjoint episode-range
+// shards. With -shard I only that shard is generated (cached under its
+// shard sub-fingerprint, so N processes sharing one -cache each simulate
+// only their slice); without -shard all shards are generated (or served
+// from the cache) and merged — byte-identical to the monolithic campaign.
+//
+// Outside fleet mode -cache/-no-cache are accepted for uniformity with the
+// rest of the toolchain; apsim then always simulates.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 
-	"repro/internal/artifact"
+	"repro/internal/cliconfig"
 	"repro/internal/dataset"
-	"repro/internal/mat"
 	"repro/internal/sim"
-	"repro/internal/sweep"
 )
 
 func main() {
@@ -45,71 +51,115 @@ func main() {
 	}
 }
 
-func run() error {
-	simName := flag.String("sim", "glucosym", "simulator: glucosym or t1ds")
-	profile := flag.Int("profile", 0, "patient profile id (0-19)")
-	steps := flag.Int("steps", 200, "episode length in 5-minute steps")
-	seed := flag.Int64("seed", 1, "episode/campaign seed")
-	scenario := flag.String("scenario", "", "episode scenario name (see sim.Scenarios; default nominal)")
-	fault := flag.Bool("fault", false, "legacy alias for -scenario random_fault")
-	csv := flag.Bool("csv", false, "emit CSV instead of a table")
-	campaign := flag.Bool("campaign", false, "generate a labeled campaign instead of one episode")
-	profiles := flag.Int("profiles", 4, "campaign: patient profiles")
-	episodes := flag.Int("episodes", 2, "campaign: episodes per profile")
-	scenarios := flag.String("scenarios", "", "campaign: scenario mix, e.g. 'nominal:1,random_fault:1,sensor_drift:0.5'")
-	parallel := flag.Int("parallel", 0, "campaign: worker goroutines (0 = all cores, 1 = serial)")
-	out := flag.String("out", "", "campaign: write the serialized dataset here (default stdout)")
-	_ = artifact.AddFlags(flag.CommandLine) // uniform flags; apsim always simulates
-	flag.Parse()
+// appFlags is apsim's full flag surface; addFlags registers it on any
+// FlagSet so the help golden test can render it without touching global
+// state.
+type appFlags struct {
+	common *cliconfig.Common
+	simu   *string
+	shape  *cliconfig.Shape
+	shards *cliconfig.Shards
 
-	var simu dataset.Simulator
-	switch *simName {
-	case "glucosym":
-		simu = dataset.Glucosym
-	case "t1ds":
-		simu = dataset.T1DS
-	default:
-		return fmt.Errorf("unknown simulator %q", *simName)
-	}
-	if *campaign {
-		return runCampaign(simu, *profiles, *episodes, *steps, *seed, *scenarios, *parallel, *out)
-	}
-	return runEpisode(simu, *profile, *steps, *seed, *scenario, *fault, *csv)
+	profile  *int
+	scenario *string
+	fault    *bool
+	csv      *bool
+	campaign *bool
+	out      *string
 }
 
-func runCampaign(simu dataset.Simulator, profiles, episodes, steps int, seed int64, scenarios string, parallel int, out string) error {
-	if parallel < 0 {
-		return fmt.Errorf("-parallel %d, want >= 0", parallel)
+func addFlags(fs *flag.FlagSet) *appFlags {
+	f := &appFlags{
+		common: cliconfig.AddCommon(fs, cliconfig.CommonDefaults{
+			Seed:      1,
+			SeedUsage: "episode/campaign seed",
+		}),
+		simu:   cliconfig.AddSim(fs),
+		shape:  cliconfig.AddShape(fs, 4, 2, 200),
+		shards: cliconfig.AddShards(fs),
 	}
-	if parallel > 0 {
-		mat.SetParallelism(parallel)
-		sweep.SetBudget(parallel)
-	}
-	cfg := dataset.CampaignConfig{
-		Simulator:          simu,
-		Profiles:           profiles,
-		EpisodesPerProfile: episodes,
-		Steps:              steps,
-		Seed:               seed,
-		Workers:            parallel,
-	}
-	mix, err := sim.ParseScenarioMixFlag(scenarios)
+	f.profile = fs.Int("profile", 0, "patient profile id (0-19)")
+	f.scenario = fs.String("scenario", "", "episode scenario name (see sim.Scenarios; default nominal)")
+	f.fault = fs.Bool("fault", false, "legacy alias for -scenario random_fault")
+	f.csv = fs.Bool("csv", false, "emit CSV instead of a table")
+	f.campaign = fs.Bool("campaign", false, "generate a labeled campaign instead of one episode")
+	f.out = fs.String("out", "", "campaign: write the serialized dataset here (default stdout)")
+	return f
+}
+
+func run() error {
+	f := addFlags(flag.CommandLine)
+	flag.Parse()
+
+	simu, err := cliconfig.ParseSimulator(*f.simu)
 	if err != nil {
 		return err
 	}
-	cfg.Scenarios = mix
-	ds, err := dataset.Generate(cfg)
+	if err := f.shards.Validate(); err != nil {
+		return err
+	}
+	if *f.campaign {
+		return runCampaign(f, simu)
+	}
+	if f.shards.Enabled() {
+		return fmt.Errorf("-shards only applies to -campaign mode")
+	}
+	return runEpisode(simu, *f.profile, f.shape.Steps, f.common.Seed, *f.scenario, *f.fault, *f.csv)
+}
+
+func runCampaign(f *appFlags, simu dataset.Simulator) error {
+	workers, err := f.common.ApplyBudget()
 	if err != nil {
 		return err
 	}
-	w := os.Stdout
-	if out != "" {
-		f, err := os.Create(out)
+	cfg, err := f.common.CampaignConfig(simu, f.shape, workers)
+	if err != nil {
+		return err
+	}
+	var ds *dataset.Dataset
+	switch {
+	case f.shards.Enabled() && f.shards.Index >= 0:
+		sc, err := cfg.ShardAt(f.shards.Count, f.shards.Index)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		w = f
+		ds, _, err = dataset.CachedShard(f.common.OpenStore(log.Printf), sc)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "apsim: shard %d/%d covers episodes [%d,%d) of campaign %v\n",
+			sc.Index, sc.Count, sc.From, sc.To, simu)
+	case f.shards.Enabled():
+		shards, err := cfg.Shard(f.shards.Count)
+		if err != nil {
+			return err
+		}
+		store := f.common.OpenStore(log.Printf)
+		parts := make([]*dataset.Dataset, len(shards))
+		for i, sc := range shards {
+			parts[i], _, err = dataset.CachedShard(store, sc)
+			if err != nil {
+				return err
+			}
+		}
+		ds, err = dataset.MergeCampaigns(parts)
+		if err != nil {
+			return err
+		}
+	default:
+		ds, err = dataset.Generate(cfg)
+		if err != nil {
+			return err
+		}
+	}
+	w := os.Stdout
+	if *f.out != "" {
+		file, err := os.Create(*f.out)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		w = file
 	}
 	if err := ds.Save(w); err != nil {
 		return err

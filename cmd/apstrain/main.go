@@ -34,15 +34,11 @@ import (
 	"os"
 	"runtime"
 
-	"repro/internal/artifact"
-	"repro/internal/dataset"
+	"repro/internal/cliconfig"
 	"repro/internal/eval"
 	"repro/internal/experiments"
-	"repro/internal/mat"
 	"repro/internal/metrics"
 	"repro/internal/monitor"
-	"repro/internal/sim"
-	"repro/internal/sweep"
 )
 
 func main() {
@@ -59,70 +55,70 @@ func printSummary(name string, c metrics.Confusion, delta int) {
 		name, c.Accuracy(), c.F1(), c.Precision(), c.Recall(), delta)
 }
 
-func run() error {
-	simName := flag.String("sim", "glucosym", "simulator: glucosym or t1ds")
-	arch := flag.String("arch", "mlp", "architecture: mlp or lstm")
-	semantic := flag.Bool("semantic", false, "train with the semantic (knowledge) loss")
-	weight := flag.Float64("weight", 0.5, "semantic loss weight w")
-	epochs := flag.Int("epochs", 15, "training epochs")
-	profiles := flag.Int("profiles", 10, "patient profiles")
-	episodes := flag.Int("episodes", 4, "episodes per profile")
-	steps := flag.Int("steps", 150, "steps per episode")
-	scenarios := flag.String("scenarios", "", "campaign scenario mix, e.g. 'nominal:1,random_fault:1,sensor_drift:0.5'")
-	seed := flag.Int64("seed", 1, "seed")
-	out := flag.String("out", "", "write the trained model JSON here")
-	report := flag.Bool("report", false, "render the per-scenario/per-fault evaluation report on the test split")
-	reportOut := flag.String("report-out", "", "write the JSON evaluation report here (implies -report)")
-	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for training and matrix products (1 = serial)")
-	precision := flag.String("precision", "f64", "evaluation inference arithmetic: f64 (canonical) or f32 (frozen fast path; training stays f64)")
-	cache := artifact.AddFlags(flag.CommandLine)
-	flag.Parse()
-	if *parallel < 1 {
-		return fmt.Errorf("-parallel %d, want >= 1", *parallel)
+// appFlags is apstrain's full flag surface, registered by addFlags so the
+// help golden test can render it.
+type appFlags struct {
+	common *cliconfig.Common
+	simu   *string
+	arch   *string
+	shape  *cliconfig.Shape
+	epochs *int
+
+	semantic  *bool
+	weight    *float64
+	out       *string
+	report    *bool
+	reportOut *string
+}
+
+func addFlags(fs *flag.FlagSet) *appFlags {
+	f := &appFlags{
+		common: cliconfig.AddCommon(fs, cliconfig.CommonDefaults{
+			Seed:      1,
+			Parallel:  runtime.GOMAXPROCS(0),
+			Precision: eval.PrecisionF64,
+		}),
+		simu:   cliconfig.AddSim(fs),
+		arch:   cliconfig.AddArch(fs),
+		shape:  cliconfig.AddShape(fs, 10, 4, 150),
+		epochs: cliconfig.AddEpochs(fs, 15),
 	}
-	if err := experiments.SetPrecision(*precision); err != nil {
+	f.semantic = fs.Bool("semantic", false, "train with the semantic (knowledge) loss")
+	f.weight = fs.Float64("weight", 0.5, "semantic loss weight w")
+	f.out = fs.String("out", "", "write the trained model JSON here")
+	f.report = fs.Bool("report", false, "render the per-scenario/per-fault evaluation report on the test split")
+	f.reportOut = fs.String("report-out", "", "write the JSON evaluation report here (implies -report)")
+	return f
+}
+
+func run() error {
+	f := addFlags(flag.CommandLine)
+	flag.Parse()
+	parallel, err := f.common.ApplyBudget()
+	if err != nil {
 		return err
 	}
 	// The experiments-level worker knob also drives the scoring adapters
 	// (Score/ScoreEpisodes fan episodes out through it), so -parallel 1
 	// really is serial end to end.
-	experiments.SetWorkers(*parallel)
-	mat.SetParallelism(*parallel)
-	sweep.SetBudget(*parallel)
-	store := cache.Open(log.Printf)
+	if err := experiments.Configure(parallel, f.common.Precision); err != nil {
+		return err
+	}
+	store := f.common.OpenStore(log.Printf)
 
-	var simu dataset.Simulator
-	switch *simName {
-	case "glucosym":
-		simu = dataset.Glucosym
-	case "t1ds":
-		simu = dataset.T1DS
-	default:
-		return fmt.Errorf("unknown simulator %q", *simName)
-	}
-	var a monitor.Arch
-	switch *arch {
-	case "mlp":
-		a = monitor.ArchMLP
-	case "lstm":
-		a = monitor.ArchLSTM
-	default:
-		return fmt.Errorf("unknown architecture %q", *arch)
-	}
-
-	camp := dataset.CampaignConfig{
-		Simulator:          simu,
-		Profiles:           *profiles,
-		EpisodesPerProfile: *episodes,
-		Steps:              *steps,
-		Seed:               *seed,
-		Workers:            *parallel,
-	}
-	mix, err := sim.ParseScenarioMixFlag(*scenarios)
+	simu, err := cliconfig.ParseSimulator(*f.simu)
 	if err != nil {
 		return err
 	}
-	camp.Scenarios = mix
+	a, err := cliconfig.ParseArch(*f.arch)
+	if err != nil {
+		return err
+	}
+
+	camp, err := f.common.CampaignConfig(simu, f.shape, parallel)
+	if err != nil {
+		return err
+	}
 	const trainFrac = 0.75
 	ds, hit, err := experiments.CachedCampaign(store, camp)
 	if err != nil {
@@ -133,7 +129,7 @@ func run() error {
 		source = "loaded from artifact cache"
 	}
 	fmt.Printf("campaign %s (%s, %d profiles × %d episodes × %d steps)\n",
-		source, simu, *profiles, *episodes, *steps)
+		source, simu, f.shape.Profiles, f.shape.Episodes, f.shape.Steps)
 	train, test, err := ds.Split(trainFrac)
 	if err != nil {
 		return err
@@ -143,11 +139,11 @@ func run() error {
 
 	tc := monitor.TrainConfig{
 		Arch:           a,
-		Semantic:       *semantic,
-		SemanticWeight: *weight,
-		Epochs:         *epochs,
-		Seed:           *seed,
-		Workers:        *parallel,
+		Semantic:       *f.semantic,
+		SemanticWeight: *f.weight,
+		Epochs:         *f.epochs,
+		Seed:           f.common.Seed,
+		Workers:        parallel,
 	}
 	m, hit, err := experiments.CachedMonitor(store, train, camp, trainFrac, tc)
 	if err != nil {
@@ -157,7 +153,7 @@ func run() error {
 		fmt.Println("monitor loaded from artifact cache (training skipped)")
 	}
 	const delta = 12
-	if *report || *reportOut != "" {
+	if *f.report || *f.reportOut != "" {
 		// Report mode evaluates exactly once: the cached report's overall
 		// slice also supplies the summary line, so a warm run does no
 		// inference at all for scoring.
@@ -170,7 +166,7 @@ func run() error {
 			Precision: experiments.Precision(),
 		}
 		rep, hit, err := eval.CachedReport(store, rc, func() (*eval.Report, error) {
-			return eval.Evaluate(m, test, eval.Options{Tolerance: delta, Workers: *parallel, Precision: experiments.Precision()})
+			return eval.Evaluate(m, test, eval.Options{Tolerance: delta, Workers: parallel, Precision: experiments.Precision()})
 		})
 		if err != nil {
 			return err
@@ -181,16 +177,16 @@ func run() error {
 		printSummary(m.Name(), rep.Overall.Confusion, delta)
 		set := &eval.Set{Tolerance: delta, Reports: []*eval.Report{rep}}
 		fmt.Print(experiments.RenderReportSet(set))
-		if *reportOut != "" {
-			f, err := os.Create(*reportOut)
+		if *f.reportOut != "" {
+			file, err := os.Create(*f.reportOut)
 			if err != nil {
 				return err
 			}
-			defer f.Close()
-			if err := set.Save(f); err != nil {
+			defer file.Close()
+			if err := set.Save(file); err != nil {
 				return err
 			}
-			fmt.Printf("evaluation report written to %s\n", *reportOut)
+			fmt.Printf("evaluation report written to %s\n", *f.reportOut)
 		}
 	} else {
 		c, err := experiments.Score(m, test, delta, nil)
@@ -200,16 +196,16 @@ func run() error {
 		printSummary(m.Name(), c, delta)
 	}
 
-	if *out != "" {
-		f, err := os.Create(*out)
+	if *f.out != "" {
+		file, err := os.Create(*f.out)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		if err := m.Save(f); err != nil {
+		defer file.Close()
+		if err := m.Save(file); err != nil {
 			return err
 		}
-		fmt.Printf("model written to %s\n", *out)
+		fmt.Printf("model written to %s\n", *f.out)
 	}
 	return nil
 }

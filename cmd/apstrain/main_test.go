@@ -1,0 +1,19 @@
+package main
+
+import (
+	"flag"
+	"io"
+	"testing"
+
+	"repro/internal/cliconfig"
+)
+
+// TestHelpGolden pins apstrain's full flag surface — names, defaults, and
+// usage text, shared bundles included — against the checked-in golden.
+// Refresh with APSREPRO_UPDATE_GOLDENS=1 go test ./cmd/...
+func TestHelpGolden(t *testing.T) {
+	fs := flag.NewFlagSet("apstrain", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	addFlags(fs)
+	cliconfig.CheckHelpGolden(t, fs, "testdata/help.golden")
+}

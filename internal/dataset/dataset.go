@@ -362,19 +362,10 @@ func FaultName(f *sim.Fault) string {
 // see every profile and fault mix. Normalizers are fit on the training set
 // and shared with test.
 func (d *Dataset) Split(trainFrac float64) (train, test *Dataset, err error) {
-	if trainFrac <= 0 || trainFrac >= 1 {
-		return nil, nil, fmt.Errorf("dataset: train fraction %v out of (0,1)", trainFrac)
+	order, cut, err := splitOrder(len(d.EpisodeIndex), trainFrac)
+	if err != nil {
+		return nil, nil, err
 	}
-	nEp := len(d.EpisodeIndex)
-	cut := int(math.Round(float64(nEp) * trainFrac))
-	if cut == 0 || cut == nEp {
-		return nil, nil, fmt.Errorf("dataset: split %v leaves an empty side (%d episodes)", trainFrac, nEp)
-	}
-	order := make([]int, nEp)
-	for i := range order {
-		order[i] = i
-	}
-	rand.New(rand.NewSource(929)).Shuffle(nEp, func(i, j int) { order[i], order[j] = order[j], order[i] })
 	train = d.subset(order[:cut])
 	test = d.subset(order[cut:])
 	train.MLPNorm, err = fitNormalizer(train, func(s Sample) []float64 { return s.MLP })
@@ -387,6 +378,39 @@ func (d *Dataset) Split(trainFrac float64) (train, test *Dataset, err error) {
 	}
 	test.MLPNorm, test.SeqNorm = train.MLPNorm, train.SeqNorm
 	return train, test, nil
+}
+
+// splitOrder returns Split's deterministic episode permutation and cut
+// position: episodes order[:cut] train, order[cut:] test. Exposed through
+// TestEpisodes so shard evaluators can map split-local episode positions
+// back to global campaign indices.
+func splitOrder(nEp int, trainFrac float64) (order []int, cut int, err error) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		return nil, 0, fmt.Errorf("dataset: train fraction %v out of (0,1)", trainFrac)
+	}
+	cut = int(math.Round(float64(nEp) * trainFrac))
+	if cut == 0 || cut == nEp {
+		return nil, 0, fmt.Errorf("dataset: split %v leaves an empty side (%d episodes)", trainFrac, nEp)
+	}
+	order = make([]int, nEp)
+	for i := range order {
+		order[i] = i
+	}
+	rand.New(rand.NewSource(929)).Shuffle(nEp, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	return order, cut, nil
+}
+
+// TestEpisodes returns the original (receiver-local, i.e. global campaign)
+// episode indices of the test split at trainFrac, in split order: episode i
+// of Split's test dataset is episode TestEpisodes(trainFrac)[i] of the
+// receiver. Shard evaluators use it to restrict an already-split test set
+// to one shard's global episode range.
+func (d *Dataset) TestEpisodes(trainFrac float64) ([]int, error) {
+	order, cut, err := splitOrder(len(d.EpisodeIndex), trainFrac)
+	if err != nil {
+		return nil, err
+	}
+	return order[cut:], nil
 }
 
 // subset assembles a new dataset from the given original episode indices,

@@ -145,10 +145,19 @@ func (c CampaignConfig) buildEpisode(scenario string, index int) (sim.Config, er
 // traces first). consume must be safe for concurrent calls on distinct
 // indices; results keyed by index keep deterministic order.
 func runEpisodes[T any](cfg CampaignConfig, consume func(index int, tr *sim.Trace) (T, error)) ([]T, error) {
+	return runEpisodeRange(cfg, 0, cfg.Profiles*cfg.EpisodesPerProfile, consume)
+}
+
+// runEpisodeRange runs only the global episode indices [from, to) of the
+// campaign. Seeds, scenario assignment, and profile mapping are pure
+// functions of the global index, so any range produces exactly the same
+// episodes the full campaign would at those positions — the property shard
+// generation is built on.
+func runEpisodeRange[T any](cfg CampaignConfig, from, to int, consume func(index int, tr *sim.Trace) (T, error)) ([]T, error) {
 	assign := cfg.Scenarios.Assign(cfg.EpisodesPerProfile)
-	n := cfg.Profiles * cfg.EpisodesPerProfile
-	return sweep.Map(cfg.Workers, n, func(i int) (T, error) {
+	return sweep.Map(cfg.Workers, to-from, func(k int) (T, error) {
 		var zero T
+		i := from + k
 		prof, ep := i/cfg.EpisodesPerProfile, i%cfg.EpisodesPerProfile
 		scen := cfg.Scenarios[assign[ep]].Name
 		scfg, err := cfg.buildEpisode(scen, i)
@@ -175,13 +184,20 @@ func Generate(cfg CampaignConfig) (*Dataset, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	return generateRange(cfg, 0, cfg.Profiles*cfg.EpisodesPerProfile)
+}
+
+// generateRange generates and windows the global episode range [from, to)
+// of an already filled + validated campaign — the shared engine of Generate
+// (full range) and GenerateShard (one shard's slice).
+func generateRange(cfg CampaignConfig, from, to int) (*Dataset, error) {
 	w := newTraceWindower(cfg.Window, cfg.Horizon, cfg.BGTarget)
 	type episode struct {
 		samples  []Sample
 		scenario string
 		fault    string
 	}
-	episodes, err := runEpisodes(cfg, func(i int, tr *sim.Trace) (episode, error) {
+	episodes, err := runEpisodeRange(cfg, from, to, func(i int, tr *sim.Trace) (episode, error) {
 		samples, err := w.windowTrace(tr, i)
 		if err != nil {
 			return episode{}, err

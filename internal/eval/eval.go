@@ -192,9 +192,10 @@ func evaluate(monitorName string, ds *dataset.Dataset, opts Options, predict fun
 	}
 
 	rep := &Report{
-		Simulator: ds.Simulator,
-		Monitor:   monitorName,
-		Tolerance: opts.Tolerance,
+		FormatVersion: FormatVersion,
+		Simulator:     ds.Simulator,
+		Monitor:       monitorName,
+		Tolerance:     opts.Tolerance,
 	}
 	overall := newSliceAccum()
 	scenarios := newAccumSet()
@@ -246,12 +247,23 @@ func (a *sliceAccum) add(er episodeResult) {
 }
 
 func (a *sliceAccum) finish(key string) Slice {
+	// The raw latency multiset is persisted in sorted order — the canonical
+	// form under which Merge's concatenate-and-resort re-aggregation is
+	// byte-identical to this single-pass summary (nil when empty, matching
+	// the JSON round trip of the omitempty field).
+	var lats []int
+	if len(a.latencies) > 0 {
+		lats = make([]int, len(a.latencies))
+		copy(lats, a.latencies)
+		sort.Ints(lats)
+	}
 	return Slice{
 		Key:       key,
 		Episodes:  a.episodes,
 		Samples:   a.samples,
 		Confusion: a.conf,
 		F1:        a.conf.F1(),
+		Latencies: lats,
 		Latency:   metrics.SummarizeLatency(a.latencies, a.missed),
 	}
 }

@@ -1,0 +1,212 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/metrics"
+)
+
+// Report merging — the monoid that makes campaigns fleet-shardable.
+//
+// A Report is a bag of per-episode scoring outcomes reduced into slices:
+// confusion-matrix counts and sample/episode totals are integer sums, and
+// every latency statistic is recomputed here from the slices' raw sorted
+// latency multisets (Slice.Latencies) rather than combined from summaries.
+// Because each derived number is a pure function of the merged raw data —
+// computed by the same code path a single-process evaluation uses —
+// fold(Merge, shardReports) serializes to exactly the bytes of the
+// monolithic report, for any shard partition. Merge itself reduces in a
+// fixed order (left fold over the argument order, slice lists pre-sorted by
+// key), keeping the byte-determinism contract machine-checkable.
+
+// IsZero reports whether r is the Merge identity: a report carrying no
+// evaluation surface (no simulator/monitor identity) and no episodes.
+// FormatVersion is ignored — the zero value of any version is the identity.
+func (r *Report) IsZero() bool {
+	return r.Simulator == "" && r.Monitor == "" && r.Episodes == 0 && r.Samples == 0 &&
+		r.Overall.Episodes == 0 && r.Overall.Samples == 0 &&
+		len(r.Scenarios) == 0 && len(r.Faults) == 0
+}
+
+// NewEmptyReport returns the identity-like report of one evaluation
+// surface: zero episodes, but carrying the (simulator, monitor, tolerance)
+// identity so it validates against sibling shards. Shard evaluators return
+// it when a shard's episode range contains no test episodes; merging it in
+// is a no-op.
+func NewEmptyReport(simulator, monitorName string, tolerance int) *Report {
+	return &Report{
+		FormatVersion: FormatVersion,
+		Simulator:     simulator,
+		Monitor:       monitorName,
+		Tolerance:     tolerance,
+		Overall:       Slice{Key: "overall"},
+	}
+}
+
+// Merge combines two reports of the same evaluation surface into the report
+// a single evaluation of both episode sets would have produced. Either
+// argument may be the zero Report (the monoid identity); otherwise the
+// simulator, monitor, and tolerance must match. Neither input is mutated.
+// Merge is associative byte-for-byte: all derived statistics are recomputed
+// from the merged raw counts and latency multisets.
+func (r *Report) Merge(o *Report) (*Report, error) {
+	if err := mergeable(r, o); err != nil {
+		return nil, err
+	}
+	base := r
+	if base.IsZero() {
+		base = o
+	}
+	m := &Report{
+		FormatVersion: FormatVersion,
+		Simulator:     base.Simulator,
+		Monitor:       base.Monitor,
+		Tolerance:     base.Tolerance,
+		Episodes:      r.Episodes + o.Episodes,
+		Samples:       r.Samples + o.Samples,
+		Overall:       mergeSlice(r.Overall, o.Overall),
+		Scenarios:     mergeSliceLists(r.Scenarios, o.Scenarios),
+		Faults:        mergeSliceLists(r.Faults, o.Faults),
+	}
+	return m, nil
+}
+
+// mergeable validates that two reports describe the same evaluation
+// surface (or that one is the identity).
+func mergeable(r, o *Report) error {
+	if r.IsZero() || o.IsZero() {
+		return nil
+	}
+	if r.Simulator != o.Simulator || r.Monitor != o.Monitor {
+		return fmt.Errorf("eval: merge: reports of different surfaces (%s/%s vs %s/%s)",
+			r.Simulator, r.Monitor, o.Simulator, o.Monitor)
+	}
+	if r.Tolerance != o.Tolerance {
+		return fmt.Errorf("eval: merge: %s/%s reports with different tolerances (δ=%d vs δ=%d)",
+			r.Simulator, r.Monitor, r.Tolerance, o.Tolerance)
+	}
+	return nil
+}
+
+// mergeSlice combines two slices of the same key: counts sum, the raw
+// latency multisets concatenate and re-sort, and every derived statistic
+// (F1, latency summary) is recomputed from the merged raw data. A slice
+// with no episodes passes the other side through unchanged, preserving
+// byte-identity under the identity merge.
+func mergeSlice(a, b Slice) Slice {
+	if a.Episodes == 0 && a.Samples == 0 {
+		return withKey(b, a.Key)
+	}
+	if b.Episodes == 0 && b.Samples == 0 {
+		return withKey(a, b.Key)
+	}
+	var lats []int
+	if n := len(a.Latencies) + len(b.Latencies); n > 0 {
+		lats = make([]int, 0, n)
+		lats = append(lats, a.Latencies...)
+		lats = append(lats, b.Latencies...)
+		sort.Ints(lats)
+	}
+	conf := a.Confusion
+	conf.Add(b.Confusion)
+	missed := a.Latency.Missed + b.Latency.Missed
+	return Slice{
+		Key:       a.Key,
+		Episodes:  a.Episodes + b.Episodes,
+		Samples:   a.Samples + b.Samples,
+		Confusion: conf,
+		F1:        conf.F1(),
+		Latencies: lats,
+		Latency:   metrics.SummarizeLatency(lats, missed),
+	}
+}
+
+// withKey returns s, keeping its key unless it is empty and the other
+// side's is not (the zero Overall slice of an identity report has no key).
+func withKey(s Slice, other string) Slice {
+	if s.Key == "" {
+		s.Key = other
+	}
+	return s
+}
+
+// mergeSliceLists unions two key-sorted slice lists: keys present on both
+// sides merge, keys present on one side pass through unchanged. The output
+// stays sorted by key, so merged reports list slices exactly as a
+// single-pass accumSet would.
+func mergeSliceLists(a, b []Slice) []Slice {
+	if len(a) == 0 && len(b) == 0 {
+		return nil
+	}
+	out := make([]Slice, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Key < b[j].Key:
+			out = append(out, a[i])
+			i++
+		case a[i].Key > b[j].Key:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, mergeSlice(a[i], b[j]))
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// MergeReports left-folds Merge over the reports in argument order — the
+// canonical fixed-order reduction of a shard fleet's per-shard reports into
+// the single-process report.
+func MergeReports(reports []*Report) (*Report, error) {
+	if len(reports) == 0 {
+		return nil, fmt.Errorf("eval: merge: no reports")
+	}
+	merged := reports[0]
+	for _, rep := range reports[1:] {
+		var err error
+		merged, err = merged.Merge(rep)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return merged, nil
+}
+
+// MergeSets merges position-aligned report sets: every set must carry the
+// same tolerance and the same number of reports, and report i of the merged
+// set is the fold of report i across the input sets (shard fleets emit
+// their sets in the same fixed (simulator, monitor) order, which Merge
+// itself validates per column).
+func MergeSets(sets []*Set) (*Set, error) {
+	if len(sets) == 0 {
+		return nil, fmt.Errorf("eval: merge: no report sets")
+	}
+	first := sets[0]
+	for k, s := range sets[1:] {
+		if s.Tolerance != first.Tolerance {
+			return nil, fmt.Errorf("eval: merge: set %d has tolerance δ=%d, set 0 has δ=%d", k+1, s.Tolerance, first.Tolerance)
+		}
+		if len(s.Reports) != len(first.Reports) {
+			return nil, fmt.Errorf("eval: merge: set %d has %d reports, set 0 has %d", k+1, len(s.Reports), len(first.Reports))
+		}
+	}
+	merged := &Set{Tolerance: first.Tolerance, Reports: make([]*Report, len(first.Reports))}
+	for i := range first.Reports {
+		column := make([]*Report, len(sets))
+		for k, s := range sets {
+			column[k] = s.Reports[i]
+		}
+		rep, err := MergeReports(column)
+		if err != nil {
+			return nil, fmt.Errorf("eval: merge: report %d: %w", i, err)
+		}
+		merged.Reports[i] = rep
+	}
+	return merged, nil
+}

@@ -16,7 +16,12 @@ import (
 // tolerance-window metric, or the latency definition changes incompatibly —
 // cached reports from older versions then become unreachable and are
 // re-evaluated.
-const FormatVersion = 1
+//
+// v2: reports embed their FormatVersion (LoadReport validates it), and
+// every slice carries its raw sorted detection-latency vector
+// (Slice.Latencies) so per-shard reports Merge into byte-identical
+// aggregate statistics.
+const FormatVersion = 2
 
 // Slice is one sliced view of an evaluation: the tolerance-window confusion
 // matrix and detection-latency statistics of the episodes sharing a key
@@ -28,23 +33,29 @@ type Slice struct {
 	Confusion metrics.Confusion
 	// F1 is Confusion.F1(), denormalized so serialized reports are
 	// self-describing.
-	F1      float64
-	Latency metrics.LatencyStats
+	F1 float64
+	// Latencies is the slice's raw detection-latency multiset in sorted
+	// order — the canonical form Merge re-aggregates Latency from, so
+	// merged statistics are byte-identical to a single-pass evaluation.
+	Latencies []int `json:",omitempty"`
+	Latency   metrics.LatencyStats
 }
 
 // Report is the full evaluation of one monitor on one dataset: the overall
 // confusion matrix plus per-scenario and per-fault-type slices, each with
 // detection-latency aggregation. Reports reduce in episode order and list
 // slices sorted by key, so equal inputs serialize to equal bytes.
+// Reports form a monoid under Merge, with the zero Report as identity.
 type Report struct {
-	Simulator string
-	Monitor   string
-	Tolerance int
-	Episodes  int
-	Samples   int
-	Overall   Slice
-	Scenarios []Slice
-	Faults    []Slice
+	FormatVersion int
+	Simulator     string
+	Monitor       string
+	Tolerance     int
+	Episodes      int
+	Samples       int
+	Overall       Slice
+	Scenarios     []Slice
+	Faults        []Slice
 }
 
 // Scenario returns the named scenario slice.
@@ -71,14 +82,17 @@ func (r *Report) Save(w io.Writer) error {
 	return nil
 }
 
-// LoadReport reads a report written by Save.
+// LoadReport reads a report written by Save, rejecting reports whose
+// embedded FormatVersion does not match this binary's (older reports lack
+// the field entirely and decode as version 0).
 func LoadReport(r io.Reader) (*Report, error) {
 	rep := &Report{}
 	if err := json.NewDecoder(r).Decode(rep); err != nil {
 		return nil, fmt.Errorf("eval: load report: %w", err)
 	}
-	if rep.Episodes == 0 {
-		return nil, fmt.Errorf("eval: load report: no episodes")
+	if rep.FormatVersion != FormatVersion {
+		return nil, fmt.Errorf("eval: load report: format version %d, this binary reads version %d — re-evaluate to regenerate the report",
+			rep.FormatVersion, FormatVersion)
 	}
 	return rep, nil
 }
@@ -101,6 +115,12 @@ type ReportConfig struct {
 	// ones by float32 rounding, so non-default precision enters the
 	// fingerprint.
 	Precision string
+	// ShardCount/ShardIndex restrict the report to one shard of the
+	// campaign's episode range (0/0 = the whole test split). Sharded
+	// reports cache under the shard's sub-fingerprint, so incremental
+	// re-evaluation touches only shards whose configuration changed.
+	ShardCount int
+	ShardIndex int
 }
 
 // Fingerprint hashes the canonicalized report configuration, mixing in the
@@ -117,6 +137,16 @@ func (c ReportConfig) Fingerprint() uint64 {
 		parts = append(parts, "precision", p)
 	} else if err != nil {
 		parts = append(parts, "precision", c.Precision)
+	}
+	// Unsharded reports (ShardCount 0) likewise keep their pre-shard keys;
+	// shard reports key under the shard sub-fingerprint (parent campaign fp
+	// + split position + episode range).
+	if c.ShardCount > 0 {
+		if sc, err := c.Campaign.ShardAt(c.ShardCount, c.ShardIndex); err == nil {
+			parts = append(parts, "shard", sc.Fingerprint())
+		} else {
+			parts = append(parts, "shard", c.ShardCount, c.ShardIndex)
+		}
 	}
 	return artifact.Fingerprint(parts...)
 }
@@ -171,4 +201,24 @@ func (s *Set) Save(w io.Writer) error {
 		return fmt.Errorf("eval: save report set: %w", err)
 	}
 	return nil
+}
+
+// LoadSet reads a report set written by Set.Save, validating every
+// report's embedded FormatVersion (the merge path refuses to combine
+// reports scored under different semantics).
+func LoadSet(r io.Reader) (*Set, error) {
+	s := &Set{}
+	if err := json.NewDecoder(r).Decode(s); err != nil {
+		return nil, fmt.Errorf("eval: load report set: %w", err)
+	}
+	for i, rep := range s.Reports {
+		if rep == nil {
+			return nil, fmt.Errorf("eval: load report set: report %d is null", i)
+		}
+		if rep.FormatVersion != FormatVersion {
+			return nil, fmt.Errorf("eval: load report set: report %d (%s/%s) has format version %d, this binary reads version %d",
+				i, rep.Simulator, rep.Monitor, rep.FormatVersion, FormatVersion)
+		}
+	}
+	return s, nil
 }

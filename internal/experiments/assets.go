@@ -63,6 +63,17 @@ func Precision() string {
 	return eval.PrecisionF64
 }
 
+// Configure installs the CLI-resolved worker count and inference precision
+// in one call — the single line the experiment binaries run after parsing
+// the shared cliconfig bundle.
+func Configure(workers int, precision string) error {
+	if err := SetPrecision(precision); err != nil {
+		return err
+	}
+	SetWorkers(workers)
+	return nil
+}
+
 // monitorEntry is one lazily-trained monitor slot: the sync.Once guarantees
 // exactly one training run per (simulator, monitor) key no matter how many
 // sweep cells request it concurrently.

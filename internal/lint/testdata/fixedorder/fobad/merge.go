@@ -1,0 +1,44 @@
+package fobad
+
+// Shard-report merging, the fixedorder shape behind eval.MergeReports: a
+// fleet's per-shard reports must fold in shard order, never in the order
+// worker goroutines happen to finish.
+
+type shardReport struct {
+	Samples int
+	F1      float64
+}
+
+// mergeCompletionOrder folds shard reports as workers deliver them. The
+// integer count is order-safe and stays unflagged; the float statistic adds
+// in completion order and is exactly what the analyzer exists to reject.
+func mergeCompletionOrder(done chan shardReport) shardReport {
+	var merged shardReport
+	for rep := range done {
+		merged.Samples += rep.Samples
+		merged.F1 += rep.F1 // want `channel fan-in accumulates merged in completion order`
+	}
+	return merged
+}
+
+// mergeRecvOrder is the counted-receive flavor of the same bug.
+func mergeRecvOrder(done chan shardReport, shards int) float64 {
+	var f1 float64
+	for i := 0; i < shards; i++ {
+		rep := <-done
+		f1 = f1 + rep.F1 // want `receive loop accumulates f1 in completion order`
+	}
+	return f1
+}
+
+// mergeShardOrder is the blessed eval.MergeReports shape: per-shard results
+// land in an index-addressed slice behind a barrier, and the left fold runs
+// over the slice in shard order — byte-deterministic at any parallelism.
+func mergeShardOrder(reports []shardReport) shardReport {
+	merged := reports[0]
+	for _, rep := range reports[1:] {
+		merged.Samples += rep.Samples
+		merged.F1 += rep.F1
+	}
+	return merged
+}
