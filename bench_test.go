@@ -9,6 +9,7 @@
 package repro_test
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"strings"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/mat"
 	"repro/internal/metrics"
+	"repro/internal/mmapio"
 	"repro/internal/monitor"
 	"repro/internal/sweep"
 )
@@ -712,6 +714,72 @@ func BenchmarkInferF32(b *testing.B) {
 	b.Run("serial", func(b *testing.B) { benchInfer(b, 1, true) })
 	b.Run("parallel8", func(b *testing.B) { benchInfer(b, 8, true) })
 	b.Run("f64twin", func(b *testing.B) { benchInfer(b, 1, false) })
+}
+
+// BenchmarkCampaignLoad contrasts the three warm-load paths for the bench
+// campaign (the benchRunCampaign config): the v3 JSON decode every warm run
+// used to pay, the v4 columnar decode over a streamed buffer, and the full
+// artifact-store hit that mmaps the raw entry and borrows its pages as
+// feature-column views. All three produce Save-byte-identical datasets
+// (dataset.TestColumnarRoundTripMatchesJSON); the gap is pure decode cost.
+// CI gates columnar-mmap against BENCH_BASELINE.json.
+func BenchmarkCampaignLoad(b *testing.B) {
+	cfg := dataset.CampaignConfig{
+		Simulator:          dataset.Glucosym,
+		Profiles:           8,
+		EpisodesPerProfile: 4,
+		Steps:              200,
+		Seed:               11,
+	}
+	ds, err := dataset.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var jsonBlob, colBlob bytes.Buffer
+	if err := ds.Save(&jsonBlob); err != nil {
+		b.Fatal(err)
+	}
+	if err := ds.EncodeColumnar(&colBlob); err != nil {
+		b.Fatal(err)
+	}
+	disk, err := artifact.NewDisk(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, hit, err := dataset.CachedColumnar(disk, cfg.ArtifactKey(),
+		func() (*dataset.Dataset, error) { return ds, nil }, true); err != nil || hit {
+		b.Fatalf("populate store: hit=%v err=%v", hit, err)
+	}
+
+	b.Run("json", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := dataset.Load(bytes.NewReader(jsonBlob.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("columnar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := dataset.DecodeColumnar(bytes.NewReader(colBlob.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("columnar-mmap", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			warm, hit, err := dataset.CachedColumnar(disk, cfg.ArtifactKey(),
+				func() (*dataset.Dataset, error) { return nil, fmt.Errorf("warm bench generated") }, true)
+			if err != nil || !hit {
+				b.Fatalf("warm load: hit=%v err=%v", hit, err)
+			}
+			if i == 0 && mmapio.Supported() && !warm.Mapped() {
+				b.Fatal("warm load did not mmap")
+			}
+		}
+	})
 }
 
 // syntheticShardReports builds one evaluation surface's per-shard reports:

@@ -8,6 +8,7 @@
 //	               [-cache DIR] [-no-cache]
 //	apsexperiments -report [-out report.json] [-shards N [-shard I]] [same flags]
 //	apsexperiments -merge-reports [-out report.json] shard1.json shard2.json ...
+//	apsexperiments -cache-prune [-cache DIR]
 //
 // -report renders the unified evaluation report instead of the figure
 // experiments: per-scenario and per-fault-type F1 + detection-latency rows
@@ -49,6 +50,8 @@
 // run with an identical configuration skips all simulation and training and
 // produces byte-identical output. Cache events are logged to stderr; stdout
 // carries only the experiment artifacts. -no-cache disables persistence.
+// Format-version bumps orphan old cache entries; -cache-prune deletes every
+// entry stored under a stale version, reports the bytes reclaimed, and exits.
 package main
 
 import (
@@ -59,9 +62,12 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/cliconfig"
+	"repro/internal/dataset"
 	"repro/internal/eval"
 	"repro/internal/experiments"
+	"repro/internal/monitor"
 )
 
 func main() {
@@ -82,6 +88,7 @@ type appFlags struct {
 	exp          *string
 	report       *bool
 	mergeReports *bool
+	cachePrune   *bool
 	out          *string
 	scale        *string
 	weight       *float64
@@ -103,6 +110,7 @@ func addFlags(fs *flag.FlagSet) *appFlags {
 	f.exp = fs.String("exp", "all", "experiment id (table3, fig1b, fig2..fig10) or 'all'")
 	f.report = fs.Bool("report", false, "render the per-scenario evaluation report instead of the figure experiments")
 	f.mergeReports = fs.Bool("merge-reports", false, "merge per-shard report-set JSON files (positional args, in shard order) into one report")
+	f.cachePrune = fs.Bool("cache-prune", false, "delete cache entries stored under stale format versions, report bytes reclaimed, and exit")
 	f.out = fs.String("out", "", "write the JSON report set here (implies -report)")
 	f.scale = fs.String("scale", "default", "preset: bench, default, or paper")
 	f.weight = fs.Float64("semantic-weight", 0, "override: semantic loss weight w")
@@ -132,6 +140,9 @@ func run() error {
 			expSet = true
 		}
 	})
+	if *f.cachePrune {
+		return runCachePrune(f.common.OpenStore(log.Printf))
+	}
 	if *f.mergeReports {
 		if expSet || f.shards.Enabled() {
 			return fmt.Errorf("-merge-reports takes only per-shard report files (not -exp or -shards)")
@@ -235,6 +246,40 @@ func run() error {
 		}
 		fmt.Printf("[%s done in %v]\n\n", id, time.Since(t1).Round(time.Millisecond))
 	}
+	return nil
+}
+
+// runCachePrune walks every artifact kind the toolchain persists and
+// deletes entries stored under format versions other than the one this
+// build reads. Version bumps orphan old entries (their keys become
+// unreachable), so a long-lived -cache root accumulates dead bytes —
+// notably v3 JSON campaigns after the v4 columnar migration.
+func runCachePrune(store artifact.Store) error {
+	disk, ok := store.(*artifact.Disk)
+	if !ok {
+		return fmt.Errorf("-cache-prune needs a disk cache (not -no-cache)")
+	}
+	kinds := []struct {
+		kind    string
+		version int
+	}{
+		{"campaign", dataset.FormatVersion},
+		{"campaignshard", dataset.FormatVersion},
+		{"monitor", monitor.FormatVersion},
+		{"evalreport", eval.FormatVersion},
+	}
+	var totalBytes int64
+	var totalEntries int
+	for _, k := range kinds {
+		reclaimed, entries, err := disk.Prune(k.kind, k.version)
+		totalBytes += reclaimed
+		totalEntries += entries
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("cache %s: pruned %d stale entries, %d bytes reclaimed\n",
+		disk.Root(), totalEntries, totalBytes)
 	return nil
 }
 

@@ -29,8 +29,11 @@
 // only their slice); without -shard all shards are generated (or served
 // from the cache) and merged — byte-identical to the monolithic campaign.
 //
-// Outside fleet mode -cache/-no-cache are accepted for uniformity with the
-// rest of the toolchain; apsim then always simulates.
+// Campaigns are content-addressed: a campaign (or shard) with a config
+// already in the -cache store loads its columnar artifact zero-copy (mmap
+// feature-column views; -no-mmap copies instead) and simulates nothing.
+// -no-cache always simulates. -out always writes JSON, byte-identical
+// whether the dataset was simulated or loaded from a cached artifact.
 package main
 
 import (
@@ -147,7 +150,8 @@ func runCampaign(f *appFlags, simu dataset.Simulator) error {
 			return err
 		}
 	default:
-		ds, err = dataset.Generate(cfg)
+		ds, _, err = dataset.CachedColumnar(f.common.OpenStore(log.Printf), cfg.ArtifactKey(),
+			func() (*dataset.Dataset, error) { return dataset.Generate(cfg) }, true)
 		if err != nil {
 			return err
 		}

@@ -62,6 +62,21 @@ type Store interface {
 	GetOrCreate(key Key, decode func(io.Reader) error, create func() error, encode func(io.Writer) error) (hit bool, err error)
 }
 
+// FileStore is implemented by stores that can additionally hand decoders
+// the backing file itself — path plus payload offset — instead of an
+// io.Reader, so binary decoders can mmap the artifact and borrow its
+// pages rather than streaming a copy. GetOrCreateFile follows the same
+// protocol as GetOrCreate (load errors discard and miss, create errors
+// propagate, persist errors are swallowed); load receives the published
+// entry's path and the offset where the payload starts (the store's own
+// header precedes it, at an 8-byte-aligned offset so aligned payload
+// structures stay aligned in the mapping). Callers fall back to
+// GetOrCreate on stores without the seam.
+type FileStore interface {
+	Store
+	GetOrCreateFile(key Key, load func(path string, payloadOff int64) error, create func() error, encode func(io.Writer) error) (hit bool, err error)
+}
+
 // Disabled is the no-op Store: every lookup misses and nothing persists.
 // It is the default for tests and for runs with -no-cache.
 type Disabled struct{}

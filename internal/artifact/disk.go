@@ -2,10 +2,14 @@ package artifact
 
 import (
 	"bufio"
+	"bytes"
+	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 )
 
@@ -64,12 +68,28 @@ func (d *Disk) GetOrCreate(key Key, decode func(io.Reader) error, create func() 
 	return false, nil
 }
 
+// openEntry opens a cached entry for reading. An absent entry is a silent
+// miss; any other open failure (permissions, I/O, a file squatting where a
+// directory should be) is still a miss — the cache never fails the run —
+// but is logged so a broken cache is observable instead of silently
+// recomputing forever.
+func (d *Disk) openEntry(key Key, path string) *os.File {
+	f, err := os.Open(path)
+	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			d.logf("artifact cache: cannot open %s (%s): %v", key, path, err)
+		}
+		return nil
+	}
+	return f
+}
+
 // tryLoad reads and validates a cached entry; any failure discards the
 // entry and reports a miss.
 func (d *Disk) tryLoad(key Key, path string, decode func(io.Reader) error) bool {
-	f, err := os.Open(path)
-	if err != nil {
-		return false // absent (or unreadable): plain miss
+	f := d.openEntry(key, path)
+	if f == nil {
+		return false
 	}
 	defer f.Close()
 	br := bufio.NewReader(f)
@@ -134,4 +154,165 @@ func (d *Disk) persist(key Key, path string, encode func(io.Writer) error) {
 
 func headerLine(k Key) string {
 	return fmt.Sprintf("%s %s\n", headerMagic, k)
+}
+
+// Raw-file entries: the mmap-friendly flavor of the store. Stream entries
+// (.art) prefix the payload with a variable-length text header, which
+// leaves the payload at an arbitrary (usually odd) offset — fatal for a
+// decoder that wants to reinterpret 8-byte-aligned structures in mapped
+// pages. Raw entries (.bin) instead carry a fixed 64-byte NUL-padded
+// header naming the key, so the payload always starts at offset 64: a
+// multiple of 8, and page-aligned relative to the mapping (which starts
+// at file offset 0).
+
+// rawHeaderSize is the fixed byte length of a raw entry's header block.
+const rawHeaderSize = 64
+
+func (d *Disk) rawPath(k Key) string {
+	return filepath.Join(d.root, k.Kind, fmt.Sprintf("v%d", k.Version), fmt.Sprintf("%016x.bin", k.Fingerprint))
+}
+
+// rawHeaderBlock renders the fixed-size raw-entry header for key, or nil
+// when the rendered key cannot fit (a kind name would have to be ~25
+// bytes long; such an entry is simply not cacheable as a raw file).
+func rawHeaderBlock(k Key) []byte {
+	line := fmt.Sprintf("%s-raw %s\n", headerMagic, k)
+	if len(line) > rawHeaderSize {
+		return nil
+	}
+	b := make([]byte, rawHeaderSize)
+	copy(b, line)
+	return b
+}
+
+// GetOrCreateFile implements FileStore: like GetOrCreate, but a hit hands
+// load the published file's path and payload offset instead of a reader,
+// so the decoder can mmap the entry in place.
+func (d *Disk) GetOrCreateFile(key Key, load func(path string, payloadOff int64) error, create func() error, encode func(io.Writer) error) (bool, error) {
+	path := d.rawPath(key)
+	if ok := d.tryLoadFile(key, path, load); ok {
+		return true, nil
+	}
+	if err := create(); err != nil {
+		return false, err
+	}
+	d.persistFile(key, path, encode)
+	return false, nil
+}
+
+// tryLoadFile validates a raw entry's header block and hands the file to
+// load; any failure discards the entry and reports a miss.
+func (d *Disk) tryLoadFile(key Key, path string, load func(path string, payloadOff int64) error) bool {
+	want := rawHeaderBlock(key)
+	if want == nil {
+		return false
+	}
+	f := d.openEntry(key, path)
+	if f == nil {
+		return false
+	}
+	var hdr [rawHeaderSize]byte
+	_, err := io.ReadFull(f, hdr[:])
+	f.Close()
+	if err != nil {
+		d.discard(key, path, fmt.Errorf("truncated header"))
+		return false
+	}
+	if !bytes.Equal(hdr[:], want) {
+		d.discard(key, path, fmt.Errorf("stale header %q", strings.TrimRight(string(hdr[:]), "\x00")))
+		return false
+	}
+	if err := load(path, rawHeaderSize); err != nil {
+		d.discard(key, path, err)
+		return false
+	}
+	d.logf("artifact cache hit: %s (%s)", key, path)
+	return true
+}
+
+// persistFile writes a raw entry atomically; like persist, failures are
+// logged and swallowed.
+func (d *Disk) persistFile(key Key, path string, encode func(io.Writer) error) {
+	hdr := rawHeaderBlock(key)
+	if hdr == nil {
+		d.logf("artifact cache: key %s too long for a raw entry header; not cached", key)
+		return
+	}
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		d.logf("artifact cache: cannot create %s: %v", dir, err)
+		return
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		d.logf("artifact cache: cannot stage %s: %v", key, err)
+		return
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	bw := bufio.NewWriter(tmp)
+	_, err = bw.Write(hdr)
+	if err == nil {
+		err = encode(bw)
+	}
+	if err == nil {
+		err = bw.Flush()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), path)
+	}
+	if err != nil {
+		d.logf("artifact cache: cannot persist %s: %v", key, err)
+		return
+	}
+	d.logf("artifact cache store: %s (%s)", key, path)
+}
+
+// versionDirRe matches the per-version subdirectories Prune may remove.
+var versionDirRe = regexp.MustCompile(`^v\d+$`)
+
+// Prune deletes every cached entry of kind stored under a format version
+// other than keepVersion. Format-version bumps orphan old entries forever
+// (their keys become unreachable, never overwritten), so long-lived cache
+// roots accumulate dead bytes until pruned. Returns the bytes reclaimed
+// and entries removed; an absent kind directory prunes nothing.
+func (d *Disk) Prune(kind string, keepVersion int) (reclaimed int64, entries int, err error) {
+	kindDir := filepath.Join(d.root, kind)
+	ents, err := os.ReadDir(kindDir)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return 0, 0, nil
+		}
+		return 0, 0, fmt.Errorf("artifact: prune %s: %w", kind, err)
+	}
+	keep := fmt.Sprintf("v%d", keepVersion)
+	for _, e := range ents {
+		if !e.IsDir() || e.Name() == keep || !versionDirRe.MatchString(e.Name()) {
+			continue
+		}
+		dir := filepath.Join(kindDir, e.Name())
+		walkErr := filepath.Walk(dir, func(_ string, info os.FileInfo, err error) error {
+			if err != nil {
+				return err
+			}
+			if !info.IsDir() {
+				reclaimed += info.Size()
+				entries++
+			}
+			return nil
+		})
+		if walkErr != nil {
+			return reclaimed, entries, fmt.Errorf("artifact: prune %s: %w", kind, walkErr)
+		}
+		if err := os.RemoveAll(dir); err != nil {
+			return reclaimed, entries, fmt.Errorf("artifact: prune %s: %w", kind, err)
+		}
+		d.logf("artifact cache: pruned %s/%s (stale format version, kept %s)", kind, e.Name(), keep)
+	}
+	if entries > 0 {
+		d.logf("artifact cache: pruned %d stale %s entries, %d bytes reclaimed", entries, kind, reclaimed)
+	}
+	return reclaimed, entries, nil
 }

@@ -1,0 +1,238 @@
+package artifact
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// rawCodec builds the load/create/encode triple GetOrCreateFile takes,
+// loading by reading the published file from the payload offset.
+func rawCodec(create string) (got *string, load func(path string, off int64) error, cre func() error, enc func(w io.Writer) error) {
+	v := new(string)
+	return v,
+		func(path string, off int64) error {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			if off < 0 || off > int64(len(b)) {
+				return fmt.Errorf("offset %d outside %d-byte file", off, len(b))
+			}
+			payload := string(b[off:])
+			if !strings.HasPrefix(payload, "payload:") {
+				return fmt.Errorf("corrupt payload %q", payload)
+			}
+			*v = payload
+			return nil
+		},
+		func() error {
+			*v = create
+			return nil
+		},
+		func(w io.Writer) error {
+			_, err := io.WriteString(w, *v)
+			return err
+		}
+}
+
+func TestDiskRawFileMissCreatesAndPersists(t *testing.T) {
+	d, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, load, cre, enc := rawCodec("payload:raw")
+	hit, err := d.GetOrCreateFile(testKey(), load, cre, enc)
+	if err != nil || hit {
+		t.Fatalf("first GetOrCreateFile: hit=%v err=%v, want miss", hit, err)
+	}
+	if *got != "payload:raw" {
+		t.Fatalf("product = %q", *got)
+	}
+
+	// The persisted entry carries the fixed 64-byte header then the payload.
+	raw, err := os.ReadFile(d.rawPath(testKey()))
+	if err != nil {
+		t.Fatalf("published entry unreadable: %v", err)
+	}
+	if len(raw) != rawHeaderSize+len("payload:raw") {
+		t.Fatalf("entry is %d bytes, want %d", len(raw), rawHeaderSize+len("payload:raw"))
+	}
+	if !strings.HasPrefix(string(raw), "apsrepro-artifact-raw "+testKey().String()+"\n") {
+		t.Fatalf("entry header = %q", raw[:rawHeaderSize])
+	}
+	if string(raw[rawHeaderSize:]) != "payload:raw" {
+		t.Fatalf("entry payload = %q", raw[rawHeaderSize:])
+	}
+
+	got2, load2, _, enc2 := rawCodec("payload:SHOULD-NOT-RUN")
+	hit, err = d.GetOrCreateFile(testKey(), load2, func() error { t.Fatal("create ran on a warm entry"); return nil }, enc2)
+	if err != nil || !hit {
+		t.Fatalf("second GetOrCreateFile: hit=%v err=%v, want hit", hit, err)
+	}
+	if *got2 != "payload:raw" {
+		t.Fatalf("warm load = %q", *got2)
+	}
+}
+
+func TestDiskRawFileCorruptAndStaleEntriesFallBackToCreate(t *testing.T) {
+	cases := map[string]func(t *testing.T, d *Disk){
+		"truncated-header": func(t *testing.T, d *Disk) {
+			writeRaw(t, d, testKey(), []byte("apsrepro")) // shorter than the 64-byte block
+		},
+		"stale-header": func(t *testing.T, d *Disk) {
+			other := Key{Kind: "campaign", Version: 9, Fingerprint: testKey().Fingerprint}
+			blk := rawHeaderBlock(other)
+			writeRaw(t, d, testKey(), append(blk, "payload:stale"...))
+		},
+		"load-rejects-payload": func(t *testing.T, d *Disk) {
+			blk := rawHeaderBlock(testKey())
+			writeRaw(t, d, testKey(), append(blk, "garbage"...))
+		},
+	}
+	for name, plant := range cases {
+		t.Run(name, func(t *testing.T) {
+			d, err := NewDisk(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			plant(t, d)
+			got, load, cre, enc := rawCodec("payload:fresh")
+			hit, err := d.GetOrCreateFile(testKey(), load, cre, enc)
+			if err != nil || hit {
+				t.Fatalf("GetOrCreateFile over bad entry: hit=%v err=%v, want miss", hit, err)
+			}
+			if *got != "payload:fresh" {
+				t.Fatalf("product = %q", *got)
+			}
+			// The bad entry was discarded and replaced; a rerun hits.
+			got2, load2, _, enc2 := rawCodec("")
+			hit, err = d.GetOrCreateFile(testKey(), load2, func() error { t.Fatal("create ran after repersist"); return nil }, enc2)
+			if err != nil || !hit {
+				t.Fatalf("rerun: hit=%v err=%v, want hit", hit, err)
+			}
+			if *got2 != "payload:fresh" {
+				t.Fatalf("rerun load = %q", *got2)
+			}
+		})
+	}
+}
+
+// writeRaw plants raw bytes at the key's .bin path.
+func writeRaw(t *testing.T, d *Disk, key Key, b []byte) {
+	t.Helper()
+	path := d.rawPath(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiskOpenErrorIsLoggedNotFatal(t *testing.T) {
+	// An unreadable entry must stay a cache miss (the run proceeds) but the
+	// open failure must be logged — a silently broken cache recomputes
+	// forever. Permission bits don't fail under root, so the unreadable
+	// entry here is an ENOTDIR: a regular file squatting where the version
+	// directory should be.
+	d, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logs []string
+	d.Logf = func(format string, args ...any) { logs = append(logs, fmt.Sprintf(format, args...)) }
+	if err := os.MkdirAll(filepath.Join(d.Root(), "campaign"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(d.Root(), "campaign", "v1"), []byte("not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, dec, cre, enc := payloadCodec("payload:recomputed")
+	hit, err := d.GetOrCreate(testKey(), dec, cre, enc)
+	if err != nil || hit {
+		t.Fatalf("GetOrCreate: hit=%v err=%v, want miss", hit, err)
+	}
+	if *got != "payload:recomputed" {
+		t.Fatalf("product = %q", *got)
+	}
+	found := false
+	for _, l := range logs {
+		if strings.Contains(l, "cannot open") && strings.Contains(l, testKey().String()) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("open failure not logged; log lines: %q", logs)
+	}
+}
+
+func TestDiskPruneRemovesStaleVersionsOnly(t *testing.T) {
+	d, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logs []string
+	d.Logf = func(format string, args ...any) { logs = append(logs, fmt.Sprintf(format, args...)) }
+
+	// Two stale entries under v1 (one stream, one raw), one live under v2,
+	// and an unrelated kind that must survive untouched.
+	stale1 := Key{Kind: "campaign", Version: 1, Fingerprint: 1}
+	stale2 := Key{Kind: "campaign", Version: 1, Fingerprint: 2}
+	live := Key{Kind: "campaign", Version: 2, Fingerprint: 3}
+	other := Key{Kind: "monitor", Version: 1, Fingerprint: 4}
+	var staleBytes int64
+	for _, k := range []Key{stale1, live, other} {
+		_, dec, cre, enc := payloadCodec("payload:" + k.String())
+		if _, err := d.GetOrCreate(k, dec, cre, enc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, load, cre, enc := rawCodec("payload:raw-stale")
+	if _, err := d.GetOrCreateFile(stale2, load, cre, enc); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{d.path(stale1), d.rawPath(stale2)} {
+		info, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		staleBytes += info.Size()
+	}
+
+	reclaimed, entries, err := d.Prune("campaign", 2)
+	if err != nil {
+		t.Fatalf("Prune: %v", err)
+	}
+	if entries != 2 || reclaimed != staleBytes {
+		t.Fatalf("Prune reclaimed %d bytes / %d entries, want %d / 2", reclaimed, entries, staleBytes)
+	}
+	if _, err := os.Stat(filepath.Join(d.Root(), "campaign", "v1")); !os.IsNotExist(err) {
+		t.Fatalf("stale version dir survived prune (stat err %v)", err)
+	}
+	for _, p := range []string{d.path(live), d.path(other)} {
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("prune removed a live entry: %v", err)
+		}
+	}
+	found := false
+	for _, l := range logs {
+		if strings.Contains(l, "bytes reclaimed") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("prune did not log reclaimed bytes; log lines: %q", logs)
+	}
+
+	// Pruning again (or an absent kind) is a quiet no-op.
+	if reclaimed, entries, err := d.Prune("campaign", 2); err != nil || reclaimed != 0 || entries != 0 {
+		t.Fatalf("second Prune = %d/%d/%v, want zeros", reclaimed, entries, err)
+	}
+	if _, _, err := d.Prune("nope", 1); err != nil {
+		t.Fatalf("Prune of absent kind: %v", err)
+	}
+}

@@ -1,7 +1,7 @@
 // Package cliconfig owns the flag bundles shared by the aps* CLIs
 // (apsim, apstrain, apsattack, apsexperiments, apserve): one place
-// registers -seed/-parallel/-precision/-scenarios and the -cache/-no-cache
-// pair (with its APSREPRO_CACHE env default), the campaign-shape knobs
+// registers -seed/-parallel/-precision/-scenarios/-no-mmap and the
+// -cache/-no-cache pair (with its APSREPRO_CACHE env default), the campaign-shape knobs
 // (-sim/-profiles/-episodes/-steps), and the fleet-sharding pair
 // (-shards/-shard) — so a new cross-cutting flag lands on every binary at
 // once instead of being copy-pasted five times. Defaults stay per-CLI
@@ -17,6 +17,7 @@ import (
 	"repro/internal/artifact"
 	"repro/internal/dataset"
 	"repro/internal/mat"
+	"repro/internal/mmapio"
 	"repro/internal/monitor"
 	"repro/internal/sim"
 	"repro/internal/sweep"
@@ -44,6 +45,7 @@ type Common struct {
 	Parallel  int
 	Precision string
 	Scenarios string
+	NoMmap    bool
 	Cache     *artifact.Flags
 }
 
@@ -67,6 +69,8 @@ func AddCommon(fs *flag.FlagSet, d CommonDefaults) *Common {
 			"inference arithmetic: f64 (canonical) or f32 (frozen fast path)")
 	}
 	fs.StringVar(&c.Scenarios, "scenarios", "", scenariosUsage)
+	fs.BoolVar(&c.NoMmap, "no-mmap", false,
+		"load cached campaign artifacts by copying instead of mmap (escape hatch for filesystems where mapping misbehaves)")
 	c.Cache = artifact.AddFlags(fs)
 	return c
 }
@@ -89,9 +93,10 @@ func (c *Common) Workers() (int, error) {
 	return c.Parallel, nil
 }
 
-// ApplyBudget resolves -parallel and installs it as the process-wide
-// worker budget shared by the sweep pool and the blocked matrix kernels,
-// returning the resolved count. Every CLI calls it once after Parse.
+// ApplyBudget resolves -parallel and installs the process-wide execution
+// knobs every CLI shares: the worker budget (sweep pool + blocked matrix
+// kernels) and the -no-mmap artifact-load switch. Returns the resolved
+// worker count. Every CLI calls it once after Parse.
 func (c *Common) ApplyBudget() (int, error) {
 	n, err := c.Workers()
 	if err != nil {
@@ -99,6 +104,7 @@ func (c *Common) ApplyBudget() (int, error) {
 	}
 	mat.SetParallelism(n)
 	sweep.SetBudget(n)
+	mmapio.SetDisabled(c.NoMmap)
 	return n, nil
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/controller"
 	"repro/internal/mat"
+	"repro/internal/mmapio"
 	"repro/internal/sim"
 	"repro/internal/stl"
 )
@@ -88,7 +89,23 @@ type Dataset struct {
 	// inherited from the training set).
 	MLPNorm *Normalizer
 	SeqNorm *Normalizer
+
+	// backing pins the mmap-ed artifact region a columnar load borrowed
+	// its feature columns from (nil for generated or JSON-loaded
+	// datasets). When set, Sample.MLP/Sample.Seq and the normalizer
+	// statistics may be read-only views into mapped pages: the mapping
+	// lacks PROT_WRITE, so writing through them faults. Split/Filter/
+	// subset copy Sample structs but share the column views, so derived
+	// datasets inherit the contract (the viewsafe lint analyzer enforces
+	// it repo-wide). Regions are process-lifetime — never unmapped — so
+	// views can never dangle.
+	backing *mmapio.Region
 }
+
+// Mapped reports whether the dataset's feature columns borrow mmap-ed
+// artifact pages (the zero-copy load path) rather than owning their
+// memory. Benchmarks and tests use it to confirm which path a load took.
+func (d *Dataset) Mapped() bool { return d.backing != nil && d.backing.Mapped() }
 
 // Len returns the number of samples.
 func (d *Dataset) Len() int { return len(d.Samples) }

@@ -19,7 +19,14 @@ import (
 //
 // v3: episodes additionally carry fault-type provenance (Dataset.Faults),
 // the slice dimension evaluation reports break confusion matrices down by.
-const FormatVersion = 3
+//
+// v4: campaigns and shards persist in the columnar binary encoding
+// (EncodeColumnar/DecodeColumnar) instead of JSON, loaded zero-copy via
+// mmap. A pure encoding bump: the generated data, the campaign
+// fingerprints, and the JSON Save/Load format (still used for -out files)
+// are all unchanged — only the artifact bytes moved, orphaning v3 cache
+// entries (reclaim them with `apsexperiments -cache-prune`).
+const FormatVersion = 4
 
 // Fingerprint hashes the canonicalized campaign configuration (after
 // defaults are filled, so explicit and implicit defaults collide as they

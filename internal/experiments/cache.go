@@ -40,27 +40,13 @@ func ActiveStore() artifact.Store {
 
 // CachedCampaign returns the labeled dataset for cfg, loading it from the
 // artifact store when a current entry exists and generating (then
-// persisting) it otherwise. A nil store always generates. The reported hit
+// persisting) it otherwise. Entries persist in the columnar binary
+// encoding and load zero-copy (mmap-ed feature-column views) on stores
+// with the raw-file seam. A nil store always generates. The reported hit
 // tells callers whether simulation was skipped.
 func CachedCampaign(store artifact.Store, cfg dataset.CampaignConfig) (ds *dataset.Dataset, hit bool, err error) {
-	if store == nil {
-		ds, err = generateFn(cfg)
-		return ds, false, err
-	}
-	hit, err = store.GetOrCreate(cfg.ArtifactKey(),
-		func(r io.Reader) error {
-			var lerr error
-			ds, lerr = dataset.Load(r)
-			return lerr
-		},
-		func() error {
-			var gerr error
-			ds, gerr = generateFn(cfg)
-			return gerr
-		},
-		func(w io.Writer) error { return ds.Save(w) },
-	)
-	return ds, hit, err
+	return dataset.CachedColumnar(store, cfg.ArtifactKey(),
+		func() (*dataset.Dataset, error) { return generateFn(cfg) }, true)
 }
 
 // monitorKey addresses a trained monitor by everything that determines its

@@ -6,6 +6,14 @@ func TestFpcompleteFixtures(t *testing.T) {
 	Fixture(t, "repro/internal/eval", []*Analyzer{Fpcomplete}, "fpcomplete", "fpbad")
 }
 
+// TestFpcompleteCatchesEncodingKnobs pins the v4 columnar design rule: the
+// artifact encoding is a FormatVersion property, never a config field. The
+// fixture's hypothetical `Columnar bool` knob must fire (unhashed exported
+// field) while the shipped no-knob shape stays clean.
+func TestFpcompleteCatchesEncodingKnobs(t *testing.T) {
+	Fixture(t, "repro/internal/dataset", []*Analyzer{Fpcomplete}, "fpcomplete", "colcfg")
+}
+
 // TestFpcompleteHasNoPackageExemptions runs the same fixture under every
 // package-path flavor — determinism-critical, serving, command, example —
 // and requires the missing-field findings to fire identically: fingerprint

@@ -1,5 +1,5 @@
 // Package lint implements apslint, the repo-invariant static-analysis
-// suite. Four analyzers turn the invariants every subsystem leans on into
+// suite. Five analyzers turn the invariants every subsystem leans on into
 // compile-time properties:
 //
 //   - detpure: determinism-critical packages must not read wall clocks,
@@ -11,6 +11,9 @@
 //     through the internal/sweep worker budget, never raw `go func`.
 //   - fixedorder: concurrent fan-ins must not accumulate floating-point
 //     results in completion order.
+//   - viewsafe: dataset.Sample's feature columns may be read-only views
+//     into mmap-ed artifact pages; element writes through them must copy
+//     the column first.
 //
 // The framework deliberately mirrors the golang.org/x/tools/go/analysis
 // API shape (Analyzer/Pass/Diagnostic) so the suite can be rebased onto
@@ -83,7 +86,7 @@ func (d Diagnostic) String() string {
 }
 
 // All is the full analyzer suite in the order diagnostics are grouped.
-var All = []*Analyzer{Detpure, Fpcomplete, Budgetguard, Fixedorder}
+var All = []*Analyzer{Detpure, Fpcomplete, Budgetguard, Fixedorder, Viewsafe}
 
 // ByName returns the analyzer with the given name, or nil.
 func ByName(name string) *Analyzer {
@@ -110,6 +113,7 @@ var detCritical = map[string]bool{
 	"repro/internal/mat":         true,
 	"repro/internal/mat32":       true,
 	"repro/internal/metrics":     true,
+	"repro/internal/mmapio":      true,
 	"repro/internal/monitor":     true,
 	"repro/internal/nn":          true,
 	"repro/internal/ode":         true,

@@ -1,0 +1,50 @@
+// Package colcfg pins the design rule behind the v4 columnar migration:
+// the artifact encoding is a property of the FormatVersion, never a config
+// knob. A hypothetical `Columnar bool` field on a fingerprinted campaign
+// config is exactly the mistake fpcomplete exists to catch — an exported
+// field that changes what a cache entry holds but not its address. The
+// real CampaignConfig has no such field (v4 was a pure encoding bump: the
+// version moved, the fingerprint recipe did not), and this fixture keeps
+// the failure mode visible so it stays that way.
+package colcfg
+
+import "fmt"
+
+func hash(parts ...any) uint64 {
+	var h uint64 = 1469598103934665603
+	for _, p := range parts {
+		for _, b := range fmt.Sprint(p) {
+			h ^= uint64(b)
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+// BadCampaign smuggles the encoding choice into the config: two configs
+// differing only in Columnar would collide on one cache address while
+// persisting incompatible bytes.
+type BadCampaign struct {
+	Profiles int
+	Steps    int
+	Seed     int64
+	Columnar bool
+}
+
+func (c BadCampaign) Fingerprint() uint64 { // want `exported field BadCampaign\.Columnar is neither hashed by Fingerprint nor annotated`
+	return hash("campaign", c.Profiles, c.Steps, c.Seed)
+}
+
+// GoodCampaign is the shipped design: no encoding field at all. The format
+// lives in the artifact key's version, and the fingerprint hashes every
+// config field.
+type GoodCampaign struct {
+	Profiles int
+	Steps    int
+	Seed     int64
+	Workers  int // fp:ignore scheduling knob, output is worker-count invariant
+}
+
+func (c GoodCampaign) Fingerprint() uint64 {
+	return hash("campaign", c.Profiles, c.Steps, c.Seed)
+}

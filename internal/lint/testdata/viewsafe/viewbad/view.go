@@ -1,0 +1,59 @@
+// Fixture for the viewsafe analyzer: loaded spoofed as
+// repro/internal/dataset, so the local Sample type stands in for the real
+// one whose MLP/Seq columns may borrow read-only mmap pages.
+package viewbad
+
+// Sample mirrors the feature-column shape of dataset.Sample.
+type Sample struct {
+	MLP []float64
+	Seq []float64
+	BG  float64
+}
+
+type Dataset struct {
+	Samples []Sample
+}
+
+func writeDirect(s Sample) {
+	s.MLP[0] = 1                 // want `write through Sample\.MLP, which may be a read-only mmap view`
+	s.Seq[3] += 2                // want `write through Sample\.Seq, which may be a read-only mmap view`
+	s.MLP[1]++                   // want `write through Sample\.MLP, which may be a read-only mmap view`
+	copy(s.Seq, []float64{1, 2}) // want `copy into Sample\.Seq, which may be a read-only mmap view`
+	copy(s.MLP[2:], s.Seq)       // want `copy into Sample\.MLP, which may be a read-only mmap view`
+}
+
+func writeThroughPointerAndSlice(d *Dataset, p *Sample) {
+	p.MLP[0] = 4            // want `write through Sample\.MLP, which may be a read-only mmap view`
+	d.Samples[0].Seq[1] = 5 // want `write through Sample\.Seq, which may be a read-only mmap view`
+}
+
+// copyThenWrite is the blessed mutation idiom: rebinding the field to a
+// private slice makes later element writes safe.
+func copyThenWrite(s Sample) Sample {
+	ns := s
+	ns.Seq = append([]float64(nil), s.Seq...)
+	ns.MLP = append([]float64(nil), s.MLP...)
+	ns.Seq[0] = 1
+	ns.MLP[2] += 3
+	copy(ns.MLP, ns.Seq)
+	// The blessing is per variable: s's columns still alias the view.
+	s.MLP[0] = 9 // want `write through Sample\.MLP, which may be a read-only mmap view`
+	return ns
+}
+
+// rebindOnly never writes elements: assigning the field itself (including
+// append, which copies capped decoder views) is not a view mutation.
+func rebindOnly(s *Sample) {
+	s.MLP = nil
+	s.Seq = append(s.Seq, 1)
+	s.BG = 7 // scalar fields are plain values, not views
+}
+
+// otherType has look-alike fields on a non-Sample type; writes are fine.
+type otherType struct {
+	MLP []float64
+}
+
+func writeOther(o otherType) {
+	o.MLP[0] = 1
+}

@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Viewsafe enforces the read-only contract on the dataset feature columns
+// that may borrow mmap-ed artifact pages.
+var Viewsafe = &Analyzer{
+	Name: "viewsafe",
+	Doc: `forbid writes through dataset.Sample's borrowed feature columns
+
+Sample.MLP and Sample.Seq on a cache-loaded campaign are zero-copy views
+into mmap-ed artifact pages mapped without PROT_WRITE: an element write
+through them is a segfault at runtime, and on a copy-loaded dataset it
+silently corrupts shared column storage. The analyzer flags element
+assignments, ++/--, and copy() destinations rooted in either field. The
+blessed mutation idiom is to rebind the field to a private slice first
+(ns.Seq = append([]float64(nil), s.Seq...)) — a write is accepted when
+the same field of the same variable was reassigned earlier in the
+enclosing function. Appending to a column is always safe: decoder views
+are capped, so append copies. _test.go files are exempt.`,
+	Run: runViewsafe,
+}
+
+// viewOwnerPkg/viewOwnerType name the struct whose columns are borrowed.
+const (
+	viewOwnerPkg  = "repro/internal/dataset"
+	viewOwnerType = "Sample"
+)
+
+// viewFields are the Sample fields that may alias mapped pages.
+var viewFields = map[string]bool{"MLP": true, "Seq": true}
+
+func runViewsafe(pass *Pass) error {
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		file := f
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range node.Lhs {
+					checkViewWrite(pass, file, lhs)
+				}
+			case *ast.IncDecStmt:
+				checkViewWrite(pass, file, node.X)
+			case *ast.CallExpr:
+				checkViewCopy(pass, file, node)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// viewColumnSel reports whether expr reaches, through index and slice
+// operations, a selector of one of Sample's view fields; it returns that
+// selector. Only expressions that dereference *into* the column count —
+// a plain `s.MLP` on the left of `=` rebinds the field (the safe idiom),
+// it does not write through it.
+func viewColumnSel(pass *Pass, expr ast.Expr) (*ast.SelectorExpr, bool) {
+	indexed := false
+	for {
+		switch e := unparen(expr).(type) {
+		case *ast.IndexExpr:
+			indexed = true
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			if indexed && isViewField(pass, e) {
+				return e, true
+			}
+			return nil, false
+		default:
+			return nil, false
+		}
+	}
+}
+
+// isViewField reports whether sel resolves to Sample.MLP or Sample.Seq.
+func isViewField(pass *Pass, sel *ast.SelectorExpr) bool {
+	if !viewFields[sel.Sel.Name] {
+		return false
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return false
+	}
+	recv := s.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == viewOwnerType && obj.Pkg() != nil && obj.Pkg().Path() == viewOwnerPkg
+}
+
+// checkViewWrite flags an element write through a view column unless the
+// column was rebound to a private slice earlier in the enclosing function.
+func checkViewWrite(pass *Pass, file *ast.File, lhs ast.Expr) {
+	sel, ok := viewColumnSel(pass, lhs)
+	if !ok {
+		return
+	}
+	if reboundBefore(pass, file, sel) {
+		return
+	}
+	pass.Reportf(lhs.Pos(),
+		"write through Sample.%s, which may be a read-only mmap view: copy the column first (x.%s = append([]float64(nil), x.%s...))",
+		sel.Sel.Name, sel.Sel.Name, sel.Sel.Name)
+}
+
+// checkViewCopy flags copy(dst, …) where dst is (a slice of) a view column.
+func checkViewCopy(pass *Pass, file *ast.File, call *ast.CallExpr) {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "copy" || len(call.Args) != 2 {
+		return
+	}
+	if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "copy" {
+		return
+	}
+	// copy's destination is written even without an index expression.
+	dst := unparen(call.Args[0])
+	for {
+		if se, ok := dst.(*ast.SliceExpr); ok {
+			dst = unparen(se.X)
+			continue
+		}
+		break
+	}
+	sel, ok := dst.(*ast.SelectorExpr)
+	if !ok || !isViewField(pass, sel) {
+		return
+	}
+	if reboundBefore(pass, file, sel) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"copy into Sample.%s, which may be a read-only mmap view: copy the column first (x.%s = append([]float64(nil), x.%s...))",
+		sel.Sel.Name, sel.Sel.Name, sel.Sel.Name)
+}
+
+// reboundBefore reports whether the same field of the same variable was
+// assigned a fresh value earlier in the enclosing function — the blessed
+// copy-before-write idiom. The root variable must match exactly: rebinding
+// ns.Seq does not bless a write through s.Seq.
+func reboundBefore(pass *Pass, file *ast.File, sel *ast.SelectorExpr) bool {
+	obj := rootObject(pass.TypesInfo, sel)
+	if obj == nil {
+		return false
+	}
+	body := enclosingFuncBody(file, sel.Pos())
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || asg.End() > sel.Pos() {
+			return true
+		}
+		for _, lhs := range asg.Lhs {
+			ls, ok := unparen(lhs).(*ast.SelectorExpr)
+			if !ok || ls.Sel.Name != sel.Sel.Name || !isViewField(pass, ls) {
+				continue
+			}
+			if rootObject(pass.TypesInfo, ls) == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,26 @@
+package lint
+
+import "testing"
+
+func TestViewsafeFixtures(t *testing.T) {
+	// Spoofed as repro/internal/dataset so the fixture's Sample type is the
+	// one whose columns the analyzer protects.
+	Fixture(t, "repro/internal/dataset", []*Analyzer{Viewsafe}, "viewsafe", "viewbad")
+}
+
+// TestViewsafeIgnoresForeignSample asserts the analyzer keys on the owning
+// package, not the type name: an unrelated package's Sample struct may do
+// whatever it likes with fields that happen to be called MLP and Seq.
+func TestViewsafeIgnoresForeignSample(t *testing.T) {
+	pkg, err := LoadFixture(testdataDir("viewsafe", "viewbad"), "repro/internal/serve")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := RunPackage(pkg, []*Analyzer{Viewsafe})
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("viewsafe flagged a foreign Sample type: %v", diags)
+	}
+}

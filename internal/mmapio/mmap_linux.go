@@ -1,0 +1,18 @@
+//go:build linux
+
+package mmapio
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates Open's borrowing path at build time.
+const mmapSupported = true
+
+// mapFile maps size bytes of f read-only and private. The mapping is
+// page-aligned, so byte offsets within the file translate directly to
+// pointer alignment of the returned slice.
+func mapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_PRIVATE)
+}

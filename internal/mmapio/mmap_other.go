@@ -1,0 +1,16 @@
+//go:build !linux
+
+package mmapio
+
+import (
+	"fmt"
+	"os"
+)
+
+// mmapSupported gates Open's borrowing path at build time: without a
+// ported mapFile, Open always takes the copying fallback.
+const mmapSupported = false
+
+func mapFile(_ *os.File, _ int) ([]byte, error) {
+	return nil, fmt.Errorf("mmapio: mapping unsupported on this platform")
+}
